@@ -1,0 +1,202 @@
+//! Neighbourhood queries: the paper's "nearest neighbour search" analysis
+//! task, made file-selective by the spatial metadata.
+
+use spio_core::{DatasetReader, ReadStats, Storage};
+use spio_types::{Aabb3, Particle, SpioError};
+
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+/// All particles within `radius` of `center`. Internally a box query over
+/// the bounding cube of the sphere (so only intersecting files are
+/// opened), filtered to the exact ball.
+pub fn radius_query<S: Storage>(
+    reader: &DatasetReader,
+    storage: &S,
+    center: [f64; 3],
+    radius: f64,
+) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+    if radius < 0.0 {
+        return Err(SpioError::Config("radius must be non-negative".into()));
+    }
+    let b = Aabb3::new(
+        [center[0] - radius, center[1] - radius, center[2] - radius],
+        [
+            center[0] + radius,
+            center[1] + radius,
+            // Half-open boxes: nudge the hi face so points exactly at
+            // center+radius are still inside the candidate box.
+            center[2] + radius,
+        ],
+    );
+    let (candidates, mut stats) = reader.read_box(storage, &grow(&b))?;
+    let r2 = radius * radius;
+    let before = candidates.len();
+    let hits: Vec<Particle> = candidates
+        .into_iter()
+        .filter(|p| dist2(p.position, center) <= r2)
+        .collect();
+    stats.particles_discarded += (before - hits.len()) as u64;
+    stats.particles_read = hits.len() as u64;
+    Ok((hits, stats))
+}
+
+/// The `k` particles nearest to `center`, found by expanding-box search:
+/// start from a radius that would hold `k` particles at the dataset's mean
+/// density, and double until `k` are inside the ball (or the domain is
+/// exhausted). Returns particles sorted by distance, closest first.
+pub fn k_nearest<S: Storage>(
+    reader: &DatasetReader,
+    storage: &S,
+    center: [f64; 3],
+    k: usize,
+) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+    if k == 0 {
+        return Ok((Vec::new(), ReadStats::default()));
+    }
+    let meta = &reader.meta;
+    if (k as u64) > meta.total_particles {
+        return Err(SpioError::Config(format!(
+            "asked for {k} neighbours of {} total particles",
+            meta.total_particles
+        )));
+    }
+    // Initial radius from mean density: volume holding k particles.
+    let mean_density = meta.total_particles as f64 / meta.domain.volume().max(1e-300);
+    let mut radius = ((k as f64 / mean_density) * 3.0 / (4.0 * std::f64::consts::PI))
+        .cbrt()
+        .max(1e-9);
+    let diag = {
+        let e = meta.domain.extent();
+        (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt()
+    };
+    let mut total_stats = ReadStats::default();
+    loop {
+        let (mut hits, stats) = radius_query(reader, storage, center, radius)?;
+        total_stats.files_opened += stats.files_opened;
+        total_stats.bytes_read += stats.bytes_read;
+        if hits.len() >= k || radius > diag {
+            hits.sort_by(|a, b| {
+                dist2(a.position, center)
+                    .total_cmp(&dist2(b.position, center))
+            });
+            hits.truncate(k);
+            total_stats.particles_read = hits.len() as u64;
+            return Ok((hits, total_stats));
+        }
+        radius *= 2.0;
+    }
+}
+
+/// Expand a box infinitesimally so half-open containment does not drop
+/// points exactly on the hi faces.
+fn grow(b: &Aabb3) -> Aabb3 {
+    let eps = 1e-12;
+    Aabb3::new(
+        b.lo,
+        [b.hi[0] + eps, b.hi[1] + eps, b.hi[2] + eps],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spio_comm::{run_threaded_collect, Comm};
+    use spio_core::{MemStorage, SpatialWriter, WriterConfig};
+    use spio_types::{DomainDecomposition, GridDims, PartitionFactor};
+    use spio_workloads::uniform_patch_particles;
+
+    fn dataset() -> MemStorage {
+        let storage = MemStorage::new();
+        let s = storage.clone();
+        let d = DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [1.0; 3]),
+            GridDims::new(4, 2, 2),
+        );
+        run_threaded_collect(16, move |comm| {
+            let ps = uniform_patch_particles(&d, comm.rank(), 500, 17);
+            SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))
+                .write(&comm, &ps, &s)
+                .unwrap();
+        })
+        .unwrap();
+        storage
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let storage = dataset();
+        let reader = DatasetReader::open(&storage).unwrap();
+        let (all, _) = reader.read_all(&storage).unwrap();
+        let center = [0.3, 0.6, 0.4];
+        for radius in [0.05, 0.15, 0.4] {
+            let (hits, _) = radius_query(&reader, &storage, center, radius).unwrap();
+            let expected = all
+                .iter()
+                .filter(|p| dist2(p.position, center) <= radius * radius)
+                .count();
+            assert_eq!(hits.len(), expected, "radius {radius}");
+            assert!(hits
+                .iter()
+                .all(|p| dist2(p.position, center) <= radius * radius));
+        }
+    }
+
+    #[test]
+    fn small_radius_opens_few_files() {
+        let storage = dataset();
+        let reader = DatasetReader::open(&storage).unwrap();
+        // Query well inside one partition.
+        let (_, stats) = radius_query(&reader, &storage, [0.12, 0.25, 0.25], 0.05).unwrap();
+        assert_eq!(stats.files_opened, 1);
+        let total_files = reader.meta.entries.len() as u64;
+        assert!(total_files > 1);
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let storage = dataset();
+        let reader = DatasetReader::open(&storage).unwrap();
+        let (all, _) = reader.read_all(&storage).unwrap();
+        let center = [0.71, 0.31, 0.62];
+        for k in [1usize, 5, 50] {
+            let (knn, _) = k_nearest(&reader, &storage, center, k).unwrap();
+            assert_eq!(knn.len(), k);
+            // Distances are sorted.
+            let d: Vec<f64> = knn.iter().map(|p| dist2(p.position, center)).collect();
+            assert!(d.windows(2).all(|w| w[0] <= w[1]));
+            // The k-th distance matches brute force.
+            let mut brute: Vec<f64> = all.iter().map(|p| dist2(p.position, center)).collect();
+            brute.sort_by(f64::total_cmp);
+            assert!(
+                (d[k - 1] - brute[k - 1]).abs() < 1e-12,
+                "k={k}: {} vs {}",
+                d[k - 1],
+                brute[k - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_edge_cases() {
+        let storage = dataset();
+        let reader = DatasetReader::open(&storage).unwrap();
+        let (none, _) = k_nearest(&reader, &storage, [0.5; 3], 0).unwrap();
+        assert!(none.is_empty());
+        assert!(k_nearest(&reader, &storage, [0.5; 3], 10_000_000).is_err());
+        // Center outside the domain still works (expansion reaches in).
+        let (hits, _) = k_nearest(&reader, &storage, [2.0, 2.0, 2.0], 3).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn negative_radius_rejected() {
+        let storage = dataset();
+        let reader = DatasetReader::open(&storage).unwrap();
+        assert!(radius_query(&reader, &storage, [0.5; 3], -1.0).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # spio-baselines
+//!
+//! Runnable implementations of the baseline I/O strategies the paper
+//! compares against (§2, §5.2):
+//!
+//! * [`fpp`] — file-per-process: every rank writes its particles to its own
+//!   file, IOR-FPP style. Maximum write concurrency, but reads must open
+//!   one file per writer rank and there is no spatial organization.
+//! * [`shared`] — single-shared-file collective I/O: rank-order two-phase
+//!   aggregation (spatially *unaware* — aggregation groups are contiguous in
+//!   rank space, not in the domain) writing disjoint segments of one file,
+//!   IOR-collective / plain PHDF5 style.
+//! * [`subfiling`] — HDF5-subfiling style: contiguous rank groups share a
+//!   subfile, in rank (not spatial) order. Mirrors the restriction Byna et
+//!   al. report: the reader layout must match the writer's subfile factor.
+//!
+//! All three share the same [`spio_comm::Comm`]/[`spio_core::Storage`]
+//! substrate as the spatially-aware writer, so integration tests can
+//! compare layouts, byte counts and read behaviour directly.
+
+pub mod fpp;
+pub mod shared;
+pub mod subfiling;
+
+pub use fpp::FppWriter;
+pub use shared::SharedFileWriter;
+pub use subfiling::SubfileWriter;

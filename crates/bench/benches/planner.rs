@@ -1,0 +1,53 @@
+//! Criterion bench for the write planner: building the exact message/file
+//! inventory for a 262 144-rank job must stay cheap, since the simulator
+//! calls it for every Fig. 5 point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spio_core::plan::{plan_box_read, plan_write, DatasetShape};
+use spio_format::LodParams;
+use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
+use std::hint::black_box;
+
+fn bench_write_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_write");
+    group.sample_size(10);
+    for &procs in &[65_536usize, 262_144] {
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+            let counts = vec![32_768u64; procs];
+            b.iter(|| {
+                black_box(
+                    plan_write(&decomp, PartitionFactor::new(2, 2, 2), &counts, false).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_planner(c: &mut Criterion) {
+    // The Fig. 7 dataset: 8192 files.
+    let files: Vec<(Aabb3, u64)> = (0..8192)
+        .map(|i| {
+            let x = (i % 32) as f64 / 32.0;
+            let y = ((i / 32) % 16) as f64 / 16.0;
+            let z = (i / 512) as f64 / 16.0;
+            (
+                Aabb3::new([x, y, z], [x + 1.0 / 32.0, y + 1.0 / 16.0, z + 1.0 / 16.0]),
+                262_144,
+            )
+        })
+        .collect();
+    let shape = DatasetShape {
+        domain: Aabb3::new([0.0; 3], [1.0; 3]),
+        total_particles: files.iter().map(|&(_, c)| c).sum(),
+        files,
+        lod: LodParams::default(),
+    };
+    c.bench_function("plan_box_read_2048_readers", |b| {
+        b.iter(|| black_box(plan_box_read(&shape, 2048, true)))
+    });
+}
+
+criterion_group!(benches, bench_write_planner, bench_read_planner);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates Fig. 9 (quantitative proxy): writes a coal-injection-style
+//! jet dataset with the real spatially-aware writer on the thread runtime,
+//! then reads 25/50/75/100 % LOD prefixes and reports density-field
+//! fidelity — normalized RMSE and feature coverage — in place of the
+//! paper's renderings.
+//!
+//! Usage: `fig9_lod_quality [total_particles] [nprocs]`
+//! (defaults: 1,048,576 particles on 64 ranks).
+
+use spio_bench::fig9;
+use spio_bench::table::{pct, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let total: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 20);
+    let nprocs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    println!(
+        "Fig. 9 — LOD fidelity of a jet dataset ({total} particles, written by {nprocs} ranks \
+         with adaptive 2x2x2 aggregation)"
+    );
+    let storage = fig9::write_jet_dataset(nprocs, total, 0xC0A1);
+    let points = fig9::lod_quality(&storage, &[0.25, 0.5, 0.75, 1.0]);
+
+    // Emit PPM renders of each fraction (the Fig. 9 panels) next to the
+    // harness outputs.
+    if let Ok(out_dir) = std::env::var("FIG9_PPM_DIR") {
+        use spio_core::{DatasetReader, Storage as _};
+        let reader = DatasetReader::open(&storage).unwrap();
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            // Proper LOD prefixes: a proportional slice of every file.
+            let target = (reader.meta.total_particles as f64 * frac).round() as u64;
+            let mut prefix = Vec::new();
+            for entry in &reader.meta.entries {
+                let take = spio_format::LodParams::file_prefix(
+                    entry.particle_count,
+                    reader.meta.total_particles,
+                    target,
+                );
+                let (_, end) = spio_format::data_file::payload_range(0, take as usize);
+                let bytes = storage.read_range(&entry.file_name(), 0, end).unwrap();
+                let (_, ps) =
+                    spio_format::data_file::decode_prefix(&bytes, take as usize).unwrap();
+                prefix.extend(ps);
+            }
+            let img = fig9::render_ppm(&prefix, &reader.meta.domain, 480, 480);
+            let path = format!("{out_dir}/fig9_{:03}pct.ppm", (frac * 100.0) as u32);
+            std::fs::write(&path, img).expect("write ppm");
+            println!("wrote {path}");
+        }
+    }
+    let header = vec![
+        "fraction".to_string(),
+        "particles".to_string(),
+        "norm. RMSE".to_string(),
+        "feature coverage".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                pct(p.fraction),
+                p.particles_read.to_string(),
+                format!("{:.4}", p.normalized_rmse),
+                pct(p.coverage),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+    println!(
+        "\nPaper reference (Fig. 9): \"most of the features are still visible even \
+         using only 25% of the particle data\" — here: ≥{:.0}% of occupied density \
+         cells are sampled at the 25% level.",
+        points[0].coverage * 100.0
+    );
+}

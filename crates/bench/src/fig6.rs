@@ -1,0 +1,136 @@
+//! Fig. 6: time split between data aggregation (communication) and file
+//! I/O for different aggregation configurations, at 32 Ki processes, on
+//! both machines and both workloads.
+
+use hpcsim::{simulate_spio_write, MachineModel};
+use spio_core::plan::plan_write;
+use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
+
+/// One bar of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    pub config: PartitionFactor,
+    /// Fraction of (aggregation + file I/O) spent aggregating.
+    pub aggregation_fraction: f64,
+    pub aggregation_secs: f64,
+    pub file_io_secs: f64,
+}
+
+/// The paper's Fig. 6 experiment: 32 768 processes.
+pub const FIG6_PROCS: usize = 32_768;
+
+/// Compute the breakdown bars for one machine/workload.
+pub fn time_breakdown(machine: &MachineModel, per_core: u64) -> Vec<Bar> {
+    crate::fig5::configs_for(machine)
+        .into_iter()
+        .map(|factor| {
+            let decomp =
+                DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), FIG6_PROCS);
+            let counts = vec![per_core; FIG6_PROCS];
+            let plan = plan_write(&decomp, factor, &counts, false).unwrap();
+            let b = simulate_spio_write(&plan, machine);
+            Bar {
+                config: factor,
+                aggregation_fraction: b.aggregation_fraction(),
+                aggregation_secs: b.aggregation,
+                file_io_secs: b.create + b.data_io,
+            }
+        })
+        .collect()
+}
+
+/// Supplementary desk-scale *real execution*: run the actual writer on the
+/// thread runtime at `procs` ranks and report measured per-phase wall
+/// times. Absolute values reflect the build machine, but the qualitative
+/// Fig. 6 trend — aggregation share grows with the partition factor — is
+/// observable in real message traffic, not just the model.
+pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<Bar> {
+    use spio_comm::{run_threaded_collect, Comm};
+    use spio_core::{MemStorage, SpatialWriter, WriteStats, WriterConfig};
+    use spio_workloads::uniform_patch_particles;
+
+    let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+    let mut out = Vec::new();
+    for factor in [
+        PartitionFactor::new(1, 1, 1),
+        PartitionFactor::new(2, 2, 1),
+        PartitionFactor::new(2, 2, 2),
+        PartitionFactor::new(4, 2, 2),
+    ] {
+        if factor.validate(decomp.dims).is_err() {
+            continue;
+        }
+        let storage = MemStorage::new();
+        let d = decomp.clone();
+        let stats: Vec<WriteStats> = run_threaded_collect(procs, move |comm| {
+            let ps = uniform_patch_particles(&d, comm.rank(), per_rank, 42);
+            SpatialWriter::new(d.clone(), WriterConfig::new(factor))
+                .write(&comm, &ps, &storage.clone())
+                .unwrap()
+        })
+        .unwrap();
+        let merged = WriteStats::merge_max(&stats);
+        let agg = merged.aggregation_time.as_secs_f64();
+        let io = merged.file_io_time.as_secs_f64();
+        out.push(Bar {
+            config: factor,
+            aggregation_fraction: if agg + io > 0.0 { agg / (agg + io) } else { 0.0 },
+            aggregation_secs: agg,
+            file_io_secs: io,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim::{mira, theta};
+
+    fn frac(bars: &[Bar], cfg: (usize, usize, usize)) -> f64 {
+        bars.iter()
+            .find(|b| b.config == PartitionFactor::new(cfg.0, cfg.1, cfg.2))
+            .unwrap()
+            .aggregation_fraction
+    }
+
+    #[test]
+    fn aggregation_share_grows_with_partition_size() {
+        // Fig. 6: "we observe an increase in aggregation time with more
+        // aggregation partitions" — on both machines and both workloads.
+        for m in [mira(), theta()] {
+            for per_core in [32 * 1024, 64 * 1024] {
+                let bars = time_breakdown(&m, per_core);
+                assert!(frac(&bars, (2, 2, 2)) <= frac(&bars, (2, 2, 4)) + 1e-9);
+                assert!(frac(&bars, (2, 2, 4)) <= frac(&bars, (2, 4, 4)) + 1e-9);
+                assert_eq!(frac(&bars, (1, 1, 1)), 0.0, "FPP has no aggregation");
+            }
+        }
+    }
+
+    #[test]
+    fn mira_aggregation_stays_a_small_share() {
+        // Fig. 6a/b: "this percentage remains small compared to the actual
+        // file I/O time" on Mira.
+        let bars = time_breakdown(&mira(), 32 * 1024);
+        assert!(
+            frac(&bars, (2, 4, 4)) < 0.4,
+            "Mira 2x4x4 aggregation share too large: {}",
+            frac(&bars, (2, 4, 4))
+        );
+    }
+
+    #[test]
+    fn theta_spends_relatively_more_time_aggregating() {
+        // Fig. 6c/d: "on Theta … the aggregation of data over the network
+        // is far more expensive than on Mira" for the same configuration.
+        for cfg in [(2, 2, 2), (2, 2, 4), (2, 4, 4)] {
+            let m = frac(&time_breakdown(&mira(), 32 * 1024), cfg);
+            let t = frac(&time_breakdown(&theta(), 32 * 1024), cfg);
+            assert!(
+                t > m,
+                "theta {t:.3} must exceed mira {m:.3} for {cfg:?}"
+            );
+        }
+    }
+}

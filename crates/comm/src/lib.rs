@@ -1,0 +1,111 @@
+//! # spio-comm
+//!
+//! A message-passing runtime providing the MPI subset the paper's I/O system
+//! uses: non-blocking point-to-point sends/receives matched by `(source,
+//! tag)`, barriers, and the collectives (`allgather`, `all-to-all`,
+//! `gather`, `broadcast`) used for metadata exchange (§3.3), spatial
+//! metadata collection (§3.5) and adaptive-grid construction (§6).
+//!
+//! The production implementation, [`ThreadComm`], backs each rank with an OS
+//! thread and delivers messages through shared mailboxes. This substitutes
+//! for MPI on a single node: the algorithm code in `spio-core` is written
+//! against the [`Comm`] trait and never learns the difference. Large-scale
+//! *timing* is handled separately by the `hpcsim` crate, which replays the
+//! communication plans produced by `spio-core` against machine models.
+
+pub mod collectives;
+pub mod mailbox;
+pub mod runtime;
+pub mod thread_comm;
+
+pub use collectives::{allreduce_u64, exclusive_scan_u64, tree_reduce_u64};
+pub use runtime::{run_threaded, run_threaded_collect};
+pub use thread_comm::ThreadComm;
+
+use spio_types::Rank;
+
+/// Message tag. User code may use any value below [`COLLECTIVE_TAG_BASE`];
+/// the collective implementations reserve the upper tag space.
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for internal collectives.
+pub const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
+
+/// Completion handle for a non-blocking send.
+///
+/// The thread-backed implementation buffers eagerly, so sends complete
+/// immediately; the handle exists so algorithm code keeps the MPI structure
+/// (post all sends, post all receives, then wait) that a real MPI port would
+/// need.
+#[must_use = "a send is only guaranteed complete after wait()"]
+pub struct SendHandle(());
+
+impl SendHandle {
+    pub(crate) fn completed() -> Self {
+        SendHandle(())
+    }
+
+    /// Block until the send buffer may be reused. (Immediate for
+    /// [`ThreadComm`].)
+    pub fn wait(self) {}
+}
+
+/// Completion handle for a non-blocking receive posted with [`Comm::irecv`].
+pub struct RecvHandle {
+    pub(crate) wait_fn: Box<dyn FnOnce() -> Vec<u8> + Send>,
+}
+
+impl RecvHandle {
+    /// Block until the matching message arrives and return its payload.
+    pub fn wait(self) -> Vec<u8> {
+        (self.wait_fn)()
+    }
+}
+
+/// The MPI subset used by the spatially-aware I/O algorithms.
+///
+/// Matching follows MPI semantics: a receive posted for `(src, tag)` matches
+/// sends from `src` with tag `tag` in program order. All collectives are
+/// over the full communicator and must be entered by every rank in the same
+/// order.
+pub trait Comm {
+    /// This process's rank in `0..size()`.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Non-blocking tagged send of `data` to `dest`.
+    fn isend(&self, dest: Rank, tag: Tag, data: Vec<u8>) -> SendHandle;
+
+    /// Non-blocking tagged receive from `src`.
+    fn irecv(&self, src: Rank, tag: Tag) -> RecvHandle;
+
+    /// Blocking send (convenience over [`Comm::isend`]).
+    fn send(&self, dest: Rank, tag: Tag, data: Vec<u8>) {
+        self.isend(dest, tag, data).wait();
+    }
+
+    /// Blocking receive (convenience over [`Comm::irecv`]).
+    fn recv(&self, src: Rank, tag: Tag) -> Vec<u8> {
+        self.irecv(src, tag).wait()
+    }
+
+    /// Synchronize all ranks.
+    fn barrier(&self);
+
+    /// Every rank contributes `data`; every rank receives all contributions
+    /// indexed by rank (MPI_Allgatherv with byte payloads).
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Variable-size all-to-all: `sends[d]` goes to rank `d`; returns the
+    /// messages received, indexed by source (MPI_Alltoallv).
+    fn alltoall(&self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>>;
+
+    /// Gather all contributions onto `root`; returns `Some(contributions)`
+    /// on the root and `None` elsewhere.
+    fn gather_to(&self, root: Rank, data: &[u8]) -> Option<Vec<Vec<u8>>>;
+
+    /// Broadcast `data` (significant only on `root`) to all ranks.
+    fn broadcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8>;
+}

@@ -1,0 +1,126 @@
+//! Per-rank message mailboxes with MPI-style `(source, tag)` matching.
+
+use crate::Tag;
+use parking_lot::{Condvar, Mutex};
+use spio_types::Rank;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring the job deadlocked.
+/// Generous enough for heavily oversubscribed test machines, short enough
+/// that a wedged integration test fails with a useful message instead of
+/// hanging CI.
+pub const RECV_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One rank's incoming-message store. Messages from the same `(src, tag)`
+/// are delivered in send order (MPI non-overtaking rule); different keys are
+/// independent.
+#[derive(Default)]
+pub struct Mailbox {
+    queues: Mutex<HashMap<(Rank, Tag), VecDeque<Vec<u8>>>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message from `src` with `tag`.
+    pub fn push(&self, src: Rank, tag: Tag, data: Vec<u8>) {
+        let mut q = self.queues.lock();
+        q.entry((src, tag)).or_default().push_back(data);
+        self.arrived.notify_all();
+    }
+
+    /// Pop the next message matching `(src, tag)`, blocking until one
+    /// arrives.
+    ///
+    /// # Panics
+    /// Panics after [`RECV_DEADLOCK_TIMEOUT`] with a diagnostic — a blocked
+    /// receive that long means the communication schedule is wrong, and an
+    /// explicit failure beats a silent hang.
+    pub fn pop_blocking(&self, me: Rank, src: Rank, tag: Tag) -> Vec<u8> {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&(src, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    if queue.is_empty() {
+                        q.remove(&(src, tag));
+                    }
+                    return msg;
+                }
+            }
+            let timed_out = self
+                .arrived
+                .wait_for(&mut q, RECV_DEADLOCK_TIMEOUT)
+                .timed_out();
+            if timed_out {
+                panic!(
+                    "rank {me}: receive from rank {src} tag {tag:#x} timed out after \
+                     {RECV_DEADLOCK_TIMEOUT:?} — communication schedule deadlock"
+                );
+            }
+        }
+    }
+
+    /// Non-blocking probe: number of queued messages for `(src, tag)`.
+    pub fn queued(&self, src: Rank, tag: Tag) -> usize {
+        self.queues
+            .lock()
+            .get(&(src, tag))
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Total queued messages (test/diagnostic aid).
+    pub fn total_queued(&self) -> usize {
+        self.queues.lock().values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_per_key() {
+        let mb = Mailbox::new();
+        mb.push(1, 7, vec![1]);
+        mb.push(1, 7, vec![2]);
+        mb.push(2, 7, vec![99]);
+        assert_eq!(mb.pop_blocking(0, 1, 7), vec![1]);
+        assert_eq!(mb.pop_blocking(0, 1, 7), vec![2]);
+        assert_eq!(mb.pop_blocking(0, 2, 7), vec![99]);
+        assert_eq!(mb.total_queued(), 0);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mb = Mailbox::new();
+        mb.push(3, 1, vec![1]);
+        mb.push(3, 2, vec![2]);
+        // Popping tag 2 first must not disturb tag 1.
+        assert_eq!(mb.pop_blocking(0, 3, 2), vec![2]);
+        assert_eq!(mb.pop_blocking(0, 3, 1), vec![1]);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.pop_blocking(0, 5, 9));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(5, 9, vec![42]);
+        assert_eq!(t.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn queued_probe() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.queued(0, 0), 0);
+        mb.push(0, 0, vec![]);
+        mb.push(0, 0, vec![]);
+        assert_eq!(mb.queued(0, 0), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! Machine-independent I/O plans.
+//!
+//! A plan is the exact inventory of operations a job would perform — every
+//! point-to-point message with its size, every collective, every file
+//! create/write/read — computed by the same grid/aggregation logic the real
+//! writer uses, but without moving any particle data. The `hpcsim` crate
+//! replays plans against network and filesystem models to produce the
+//! paper's at-scale results (up to 262 144 ranks) that cannot be executed
+//! for real on a workstation; the structural quantities (message matrix,
+//! file counts and sizes, group sizes) are exact, only their *timing* is
+//! modeled.
+
+use crate::adaptive::AdaptiveGrid;
+use crate::grid::AggregationGrid;
+use spio_format::data_file::HEADER_BYTES;
+use spio_format::LodParams;
+use spio_types::{
+    Aabb3, DomainDecomposition, GridDims, PartitionFactor, Rank, SpioError, PARTICLE_BYTES,
+};
+
+/// One point-to-point message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRec {
+    pub src: Rank,
+    pub dst: Rank,
+    pub bytes: u64,
+}
+
+/// One file write performed by an aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileWriteRec {
+    pub rank: Rank,
+    pub bytes: u64,
+}
+
+/// The complete write-phase inventory for one timestep.
+#[derive(Debug, Clone)]
+pub struct WritePlan {
+    pub nprocs: usize,
+    /// Aggregation partition count = output data file count.
+    pub partition_count: usize,
+    /// Aggregator rank per partition.
+    pub aggregators: Vec<Rank>,
+    /// Communication group size per partition (ranks sending into it).
+    pub group_sizes: Vec<usize>,
+    /// Whether setup required the extent/count all-gather (§6 adaptive).
+    pub setup_allgather: bool,
+    /// Count metadata messages (8 bytes each; absent in adaptive mode where
+    /// the all-gather carries the counts).
+    pub meta_messages: Vec<MessageRec>,
+    /// Particle payload messages.
+    pub data_messages: Vec<MessageRec>,
+    /// Per-aggregator shuffle workload (particles).
+    pub shuffle_particles: Vec<u64>,
+    /// Data files written (one per partition, by its aggregator).
+    pub file_writes: Vec<FileWriteRec>,
+    /// Per-rank contribution to the final metadata all-gather, bytes.
+    pub meta_gather_bytes: u64,
+}
+
+impl WritePlan {
+    /// Total bytes crossing the network in the data exchange (excluding
+    /// aggregator self-sends, which never leave the node).
+    pub fn network_bytes(&self) -> u64 {
+        self.data_messages
+            .iter()
+            .filter(|m| m.src != m.dst)
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Total bytes written to storage.
+    pub fn storage_bytes(&self) -> u64 {
+        self.file_writes.iter().map(|w| w.bytes).sum()
+    }
+}
+
+/// Plan a spatially-aware aligned write (static §3 grid, or §6 adaptive)
+/// from per-rank particle counts.
+pub fn plan_write(
+    decomp: &DomainDecomposition,
+    factor: PartitionFactor,
+    counts: &[u64],
+    adaptive: bool,
+) -> Result<WritePlan, SpioError> {
+    if counts.len() != decomp.nprocs() {
+        return Err(SpioError::Config(format!(
+            "counts length {} != nprocs {}",
+            counts.len(),
+            decomp.nprocs()
+        )));
+    }
+    let grid = if adaptive {
+        AdaptiveGrid::build(decomp, factor, counts)?
+    } else {
+        AggregationGrid::aligned(decomp, factor)?
+    };
+    plan_write_on_grid(&grid, counts, adaptive)
+}
+
+/// Plan a write over an already-built aggregation grid.
+pub fn plan_write_on_grid(
+    grid: &AggregationGrid,
+    counts: &[u64],
+    adaptive: bool,
+) -> Result<WritePlan, SpioError> {
+    let nprocs = grid.decomp.nprocs();
+    let mut meta_messages = Vec::new();
+    let mut data_messages = Vec::new();
+    let mut shuffle_particles = Vec::with_capacity(grid.partitions.len());
+    let mut file_writes = Vec::with_capacity(grid.partitions.len());
+    let mut group_sizes = Vec::with_capacity(grid.partitions.len());
+    for part in &grid.partitions {
+        let mut total: u64 = 0;
+        let mut senders = 0usize;
+        for &m in &part.members {
+            let c = counts[m];
+            if !adaptive {
+                meta_messages.push(MessageRec {
+                    src: m,
+                    dst: part.agg_rank,
+                    bytes: 8,
+                });
+            }
+            if c > 0 {
+                data_messages.push(MessageRec {
+                    src: m,
+                    dst: part.agg_rank,
+                    bytes: c * PARTICLE_BYTES as u64,
+                });
+                senders += 1;
+                total += c;
+            }
+        }
+        group_sizes.push(if adaptive { senders } else { part.members.len() });
+        shuffle_particles.push(total);
+        file_writes.push(FileWriteRec {
+            rank: part.agg_rank,
+            bytes: HEADER_BYTES as u64 + total * PARTICLE_BYTES as u64,
+        });
+    }
+    Ok(WritePlan {
+        nprocs,
+        partition_count: grid.partitions.len(),
+        aggregators: grid.aggregator_ranks(),
+        group_sizes,
+        setup_allgather: adaptive,
+        meta_messages,
+        data_messages,
+        shuffle_particles,
+        file_writes,
+        meta_gather_bytes: 72,
+    })
+}
+
+/// One file read performed by a reader rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileReadRec {
+    pub rank: Rank,
+    /// Index of the file being read (drives data-server placement in the
+    /// simulator).
+    pub file: usize,
+    /// Bytes actually transferred (whole file, or an LOD prefix slice).
+    pub bytes: u64,
+}
+
+/// Per-reader read totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReaderOps {
+    pub opens: u64,
+    pub bytes: u64,
+}
+
+/// The complete read-phase inventory.
+#[derive(Debug, Clone)]
+pub struct ReadPlan {
+    pub nreaders: usize,
+    pub per_reader: Vec<ReaderOps>,
+    /// Every individual file access (for queue-level simulation).
+    pub reads: Vec<FileReadRec>,
+}
+
+impl ReadPlan {
+    pub fn total_bytes(&self) -> u64 {
+        self.per_reader.iter().map(|r| r.bytes).sum()
+    }
+
+    pub fn total_opens(&self) -> u64 {
+        self.per_reader.iter().map(|r| r.opens).sum()
+    }
+}
+
+/// A dataset summary sufficient for read planning: file bounds + counts
+/// (what the spatial metadata stores), plus the domain and LOD parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetShape {
+    pub domain: Aabb3,
+    pub files: Vec<(Aabb3, u64)>,
+    pub total_particles: u64,
+    pub lod: LodParams,
+}
+
+impl DatasetShape {
+    /// Shape of the dataset produced by `plan` over `grid`.
+    pub fn from_write(grid: &AggregationGrid, plan: &WritePlan) -> Self {
+        let files = grid
+            .partitions
+            .iter()
+            .zip(&plan.shuffle_particles)
+            .map(|(p, &c)| (p.bounds, c))
+            .collect();
+        DatasetShape {
+            domain: grid.decomp.bounds,
+            files,
+            total_particles: plan.shuffle_particles.iter().sum(),
+            lod: LodParams::default(),
+        }
+    }
+}
+
+/// Plan the Fig. 7 visualization read: `nreaders` ranks, each box-querying
+/// one cell of a near-cubic domain split. `with_metadata` selects whether
+/// readers open only intersecting files or must scan everything.
+pub fn plan_box_read(shape: &DatasetShape, nreaders: usize, with_metadata: bool) -> ReadPlan {
+    let dims = GridDims::near_cubic(nreaders);
+    let mut per_reader = vec![ReaderOps::default(); nreaders];
+    let mut reads = Vec::new();
+    for rank in 0..nreaders {
+        let query = shape.domain.cell(dims.as_array(), dims.delinearize(rank));
+        for (file, (bounds, count)) in shape.files.iter().enumerate() {
+            let touch = if with_metadata {
+                bounds.intersects(&query)
+            } else {
+                true
+            };
+            if touch {
+                let bytes = HEADER_BYTES as u64 + count * PARTICLE_BYTES as u64;
+                per_reader[rank].opens += 1;
+                per_reader[rank].bytes += bytes;
+                reads.push(FileReadRec { rank, file, bytes });
+            }
+        }
+    }
+    ReadPlan {
+        nreaders,
+        per_reader,
+        reads,
+    }
+}
+
+/// Plan the Fig. 8 LOD read: `nreaders` ranks, files assigned round-robin,
+/// reading levels `0 ..= level` in one pass — one open per file plus the
+/// prefix bytes covering the requested levels. (This matches the paper's
+/// measurement protocol, where each run loads up to a chosen level; at low
+/// levels the time is dominated by the file opens, which is exactly the
+/// flat region of Fig. 8 on Theta.)
+pub fn plan_lod_read(shape: &DatasetShape, nreaders: usize, level: u32) -> ReadPlan {
+    let mut per_reader = vec![ReaderOps::default(); nreaders];
+    let mut reads = Vec::new();
+    let global_prefix = shape
+        .lod
+        .prefix_len(nreaders as u64, level, shape.total_particles);
+    for (i, &(_, count)) in shape.files.iter().enumerate() {
+        let rank = i % nreaders;
+        let target = LodParams::file_prefix(count, shape.total_particles, global_prefix);
+        let bytes = target * PARTICLE_BYTES as u64;
+        per_reader[rank].opens += 1;
+        per_reader[rank].bytes += bytes;
+        reads.push(FileReadRec { rank, file: i, bytes });
+    }
+    ReadPlan {
+        nreaders,
+        per_reader,
+        reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomp(nx: usize, ny: usize, nz: usize) -> DomainDecomposition {
+        DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [1.0; 3]),
+            GridDims::new(nx, ny, nz),
+        )
+    }
+
+    #[test]
+    fn uniform_plan_structure() {
+        let d = decomp(4, 4, 1);
+        let counts = vec![100u64; 16];
+        let plan = plan_write(&d, PartitionFactor::new(2, 2, 1), &counts, false).unwrap();
+        assert_eq!(plan.partition_count, 4);
+        assert_eq!(plan.aggregators, vec![0, 4, 8, 12]);
+        assert_eq!(plan.meta_messages.len(), 16);
+        assert_eq!(plan.data_messages.len(), 16);
+        assert!(plan.group_sizes.iter().all(|&g| g == 4));
+        // Every data message carries 100 particles.
+        assert!(plan
+            .data_messages
+            .iter()
+            .all(|m| m.bytes == 100 * PARTICLE_BYTES as u64));
+        // File sizes: header + 400 particles.
+        assert!(plan
+            .file_writes
+            .iter()
+            .all(|w| w.bytes == HEADER_BYTES as u64 + 400 * PARTICLE_BYTES as u64));
+        assert_eq!(plan.storage_bytes(), 4 * (HEADER_BYTES as u64 + 400 * 124));
+    }
+
+    #[test]
+    fn network_bytes_excludes_self_sends() {
+        let d = decomp(2, 1, 1);
+        let counts = vec![10u64; 2];
+        // Whole-domain aggregation: rank 0 aggregates both.
+        let plan = plan_write(&d, PartitionFactor::new(2, 1, 1), &counts, false).unwrap();
+        // Only rank 1 → 0 crosses the network.
+        assert_eq!(plan.network_bytes(), 10 * PARTICLE_BYTES as u64);
+        assert_eq!(
+            plan.data_messages.iter().map(|m| m.bytes).sum::<u64>(),
+            20 * PARTICLE_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn file_per_process_plan_has_no_cross_traffic() {
+        let d = decomp(4, 4, 1);
+        let counts = vec![50u64; 16];
+        let plan = plan_write(&d, PartitionFactor::new(1, 1, 1), &counts, false).unwrap();
+        assert_eq!(plan.partition_count, 16);
+        assert_eq!(plan.network_bytes(), 0, "every rank aggregates itself");
+        assert_eq!(plan.file_writes.len(), 16);
+    }
+
+    #[test]
+    fn adaptive_plan_skips_empty_and_drops_meta_messages() {
+        let d = decomp(4, 1, 1);
+        let counts = vec![100, 100, 0, 0];
+        let plan = plan_write(&d, PartitionFactor::new(2, 1, 1), &counts, true).unwrap();
+        assert!(plan.setup_allgather);
+        assert_eq!(plan.partition_count, 1, "only the occupied half gridded");
+        assert!(plan.meta_messages.is_empty());
+        assert_eq!(plan.data_messages.len(), 2);
+        let nonadaptive = plan_write(&d, PartitionFactor::new(2, 1, 1), &counts, false).unwrap();
+        assert_eq!(nonadaptive.partition_count, 2);
+        assert_eq!(nonadaptive.meta_messages.len(), 4);
+    }
+
+    #[test]
+    fn plan_matches_paper_scale_example() {
+        // §4: 64 Ki processes at (2,2,2) produce 8 Ki files.
+        let d = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), 65_536);
+        let counts = vec![32_768u64; 65_536];
+        let plan = plan_write(&d, PartitionFactor::new(2, 2, 2), &counts, false).unwrap();
+        assert_eq!(plan.partition_count, 8_192);
+        assert_eq!(plan.data_messages.len(), 65_536);
+        // ~4 MB per rank, 256 GB total + headers.
+        let payload = 65_536u64 * 32_768 * PARTICLE_BYTES as u64;
+        assert_eq!(plan.storage_bytes(), payload + 8_192 * HEADER_BYTES as u64);
+    }
+
+    fn shape_4files() -> DatasetShape {
+        let d = decomp(4, 4, 1);
+        let grid = AggregationGrid::aligned(&d, PartitionFactor::new(2, 2, 1)).unwrap();
+        let counts = vec![100u64; 16];
+        let plan = plan_write_on_grid(&grid, &counts, false).unwrap();
+        DatasetShape::from_write(&grid, &plan)
+    }
+
+    #[test]
+    fn box_read_plan_with_and_without_metadata() {
+        let shape = shape_4files();
+        let with = plan_box_read(&shape, 4, true);
+        let without = plan_box_read(&shape, 4, false);
+        // 4 readers × 4 quadrant files: metadata lets each reader open few
+        // files; without it everyone opens all 4.
+        assert_eq!(without.total_opens(), 16);
+        assert!(with.total_opens() < without.total_opens());
+        assert!(with.total_bytes() < without.total_bytes());
+        // Without metadata, every reader pays the full dataset.
+        assert!(without
+            .per_reader
+            .iter()
+            .all(|r| r.bytes == shape.files.iter().map(|&(_, c)| 96 + c * 124).sum::<u64>()));
+    }
+
+    #[test]
+    fn one_reader_with_metadata_reads_everything_once() {
+        let shape = shape_4files();
+        let plan = plan_box_read(&shape, 1, true);
+        assert_eq!(plan.total_opens(), 4);
+        assert_eq!(
+            plan.total_bytes(),
+            shape
+                .files
+                .iter()
+                .map(|&(_, c)| HEADER_BYTES as u64 + c * PARTICLE_BYTES as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn lod_read_plan_grows_with_level() {
+        let shape = shape_4files(); // 1600 particles, P=32, S=2
+        let l0 = plan_lod_read(&shape, 1, 0);
+        let l2 = plan_lod_read(&shape, 1, 2);
+        let last = plan_lod_read(&shape, 1, 10);
+        assert!(l0.total_bytes() < l2.total_bytes());
+        assert!(l2.total_bytes() < last.total_bytes());
+        // Reading all levels transfers every particle exactly once.
+        assert_eq!(last.total_bytes(), 1600 * PARTICLE_BYTES as u64);
+    }
+
+    #[test]
+    fn lod_plan_distributes_files_round_robin() {
+        let shape = shape_4files();
+        let plan = plan_lod_read(&shape, 2, 0);
+        // 4 files over 2 readers: 2 each, one open per file at level 0.
+        assert_eq!(plan.per_reader[0].opens, 2);
+        assert_eq!(plan.per_reader[1].opens, 2);
+    }
+
+    #[test]
+    fn wrong_counts_length_rejected() {
+        let d = decomp(2, 2, 1);
+        assert!(plan_write(&d, PartitionFactor::new(1, 1, 1), &[1, 2], false).is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! Scalable parallel reads for analysis and visualization (§4).
+//!
+//! Three mechanisms make reads fast: (1) aggregation produces few, large
+//! files, so readers open fewer files than file-per-process layouts; (2)
+//! files are spatially coherent, so a box query touches few of them; (3)
+//! the spatial metadata file tells every reader exactly which files its
+//! query needs — without it, a reader must scan *all* files and discard
+//! most particles. LOD reads exploit the shuffled layout: a file prefix is
+//! a uniform subsample, and appending the next level is a further
+//! sequential read.
+
+use crate::stats::ReadStats;
+use crate::storage::Storage;
+use spio_comm::Comm;
+use spio_format::data_file::{decode_data_file, payload_range};
+use spio_format::{LodParams, SpatialMetadata, META_FILE_NAME};
+use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, SpioError};
+use std::time::Instant;
+
+/// A handle to a written dataset: the parsed spatial metadata.
+#[derive(Debug, Clone)]
+pub struct DatasetReader {
+    pub meta: SpatialMetadata,
+}
+
+impl DatasetReader {
+    /// Open a dataset by reading and parsing its spatial metadata file
+    /// ("a lightweight I/O task", §4).
+    pub fn open<S: Storage>(storage: &S) -> Result<Self, SpioError> {
+        let bytes = storage.read_file(META_FILE_NAME)?;
+        Ok(DatasetReader {
+            meta: SpatialMetadata::decode(&bytes)?,
+        })
+    }
+
+    /// Box query using spatial metadata: open only the files whose bounds
+    /// intersect `query`, filter particles to the query box. Files fully
+    /// contained in the query skip the per-particle filter.
+    pub fn read_box<S: Storage>(
+        &self,
+        storage: &S,
+        query: &Aabb3,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let t0 = Instant::now();
+        let mut stats = ReadStats::default();
+        let mut out = Vec::new();
+        for idx in self.meta.files_intersecting(query) {
+            let entry = &self.meta.entries[idx];
+            let bytes = storage.read_file(&entry.file_name())?;
+            stats.files_opened += 1;
+            stats.bytes_read += bytes.len() as u64;
+            let (_, particles) = decode_data_file(&bytes)?;
+            if query_contains_box(query, &entry.bounds) {
+                out.extend(particles);
+            } else {
+                let decoded = particles.len();
+                let kept_before = out.len();
+                out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
+                stats.particles_discarded += (decoded - (out.len() - kept_before)) as u64;
+            }
+        }
+        stats.particles_read = out.len() as u64;
+        stats.time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// The spatially unaware baseline read (Fig. 7's "without spatial
+    /// metadata" case): scan *every* data file, keeping only particles in
+    /// the query box. The file names still come from the metadata (we need
+    /// to enumerate them somehow) but the per-file bounds are deliberately
+    /// ignored.
+    pub fn read_box_without_metadata<S: Storage>(
+        &self,
+        storage: &S,
+        query: &Aabb3,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let t0 = Instant::now();
+        let mut stats = ReadStats::default();
+        let mut out = Vec::new();
+        for entry in &self.meta.entries {
+            let bytes = storage.read_file(&entry.file_name())?;
+            stats.files_opened += 1;
+            stats.bytes_read += bytes.len() as u64;
+            let (_, particles) = decode_data_file(&bytes)?;
+            let before = out.len();
+            out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
+            stats.particles_discarded += entry.particle_count - (out.len() - before) as u64;
+        }
+        stats.particles_read = out.len() as u64;
+        stats.time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// Attribute range-query (§3.5 extension): return particles inside
+    /// `query` whose density lies in `[density_lo, density_hi]`. Files are
+    /// pruned by both the spatial metadata and the per-file attribute
+    /// ranges, so files that cannot contain matching particles are never
+    /// opened.
+    pub fn read_box_density<S: Storage>(
+        &self,
+        storage: &S,
+        query: &Aabb3,
+        density_lo: f64,
+        density_hi: f64,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let t0 = Instant::now();
+        let mut stats = ReadStats::default();
+        let mut out = Vec::new();
+        for idx in self.meta.files_for_range_query(query, density_lo, density_hi) {
+            let entry = &self.meta.entries[idx];
+            let bytes = storage.read_file(&entry.file_name())?;
+            stats.files_opened += 1;
+            stats.bytes_read += bytes.len() as u64;
+            let (_, particles) = decode_data_file(&bytes)?;
+            let decoded = particles.len();
+            let before = out.len();
+            out.extend(particles.into_iter().filter(|p| {
+                query.contains(p.position)
+                    && p.density >= density_lo
+                    && p.density <= density_hi
+            }));
+            stats.particles_discarded += (decoded - (out.len() - before)) as u64;
+        }
+        stats.particles_read = out.len() as u64;
+        stats.time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// Read the entire dataset.
+    pub fn read_all<S: Storage>(
+        &self,
+        storage: &S,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        self.read_box(storage, &self.meta.domain.clone())
+    }
+}
+
+fn query_contains_box(query: &Aabb3, b: &Aabb3) -> bool {
+    (0..3).all(|a| query.lo[a] <= b.lo[a] && b.hi[a] <= query.hi[a])
+}
+
+/// Parallel visualization-style reads (§5.3): `n` readers (usually far
+/// fewer than the writers) each take one cell of a near-cubic split of the
+/// domain and box-query it.
+pub struct BoxQueryReader;
+
+impl BoxQueryReader {
+    /// The subdomain assigned to `rank` of `nreaders`.
+    pub fn reader_query(domain: &Aabb3, nreaders: usize, rank: usize) -> Aabb3 {
+        let dims = GridDims::near_cubic(nreaders);
+        domain.cell(dims.as_array(), dims.delinearize(rank))
+    }
+
+    /// Collective distributed read: every rank reads its subdomain.
+    /// Returns this rank's particles and stats.
+    pub fn read<C: Comm, S: Storage>(
+        comm: &C,
+        storage: &S,
+        use_metadata: bool,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let reader = DatasetReader::open(storage)?;
+        let query = Self::reader_query(&reader.meta.domain, comm.size(), comm.rank());
+        if use_metadata {
+            reader.read_box(storage, &query)
+        } else {
+            reader.read_box_without_metadata(storage, &query)
+        }
+    }
+}
+
+/// Restart reads: load a checkpoint back into a (possibly different-sized)
+/// simulation. Each rank of the new job box-queries its own patch, so the
+/// dataset redistributes itself onto the new decomposition — the paper's
+/// "reads with different core counts than were used to write the data"
+/// (§2.1), applied to checkpoint/restart.
+pub struct RestartReader;
+
+impl RestartReader {
+    /// Collective: rank `comm.rank()` of the new job receives exactly the
+    /// particles inside its patch of `new_decomp`.
+    pub fn read<C: Comm, S: Storage>(
+        comm: &C,
+        new_decomp: &DomainDecomposition,
+        storage: &S,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        if comm.size() != new_decomp.nprocs() {
+            return Err(SpioError::Config(format!(
+                "communicator size {} != new decomposition {}",
+                comm.size(),
+                new_decomp.nprocs()
+            )));
+        }
+        let reader = DatasetReader::open(storage)?;
+        let patch = new_decomp.patch_bounds(comm.rank());
+        reader.read_box(storage, &patch)
+    }
+}
+
+/// Progressive level-of-detail reads over a set of files (§4, §5.4).
+///
+/// The cursor tracks a per-file prefix offset. Each level extends every
+/// file's prefix to the proportional share of the global level boundary, so
+/// after reading through level `l` the union across all readers is a
+/// uniform subsample of `prefix_len(n, l)` particles.
+pub struct LodCursor {
+    files: Vec<LodFile>,
+    /// Total particles in the dataset (not just this cursor's files).
+    dataset_total: u64,
+    lod: LodParams,
+    /// Number of reader processes `n` in the LOD formula.
+    nreaders: u64,
+    next_level: u32,
+}
+
+struct LodFile {
+    name: String,
+    total: u64,
+    read_so_far: u64,
+}
+
+impl LodCursor {
+    /// Build a cursor over the metadata entries at `file_indices`
+    /// (typically this reader's share of the files).
+    pub fn new(meta: &SpatialMetadata, file_indices: &[usize], nreaders: usize) -> Self {
+        let files = file_indices
+            .iter()
+            .map(|&i| {
+                let e = &meta.entries[i];
+                LodFile {
+                    name: e.file_name(),
+                    total: e.particle_count,
+                    read_so_far: 0,
+                }
+            })
+            .collect();
+        LodCursor {
+            files,
+            dataset_total: meta.total_particles,
+            lod: meta.lod,
+            nreaders: nreaders as u64,
+            next_level: 0,
+        }
+    }
+
+    /// Round-robin assignment of files to a reader: reader `rank` of
+    /// `nreaders` handles entries `rank, rank + nreaders, …`.
+    pub fn files_for_reader(meta: &SpatialMetadata, nreaders: usize, rank: usize) -> Vec<usize> {
+        (rank..meta.entries.len()).step_by(nreaders).collect()
+    }
+
+    /// Spatially coherent assignment: order the files along a Z-order
+    /// curve of their box centers and hand each reader a contiguous run.
+    /// Each reader's files then cover a compact region — better for
+    /// downstream per-reader spatial processing than round-robin, at the
+    /// same per-reader file count (±1).
+    pub fn files_for_reader_zorder(
+        meta: &SpatialMetadata,
+        nreaders: usize,
+        rank: usize,
+    ) -> Vec<usize> {
+        const RES: f64 = (1u64 << 20) as f64;
+        let e = meta.domain.extent();
+        let coords: Vec<[u32; 3]> = meta
+            .entries
+            .iter()
+            .map(|entry| {
+                let c = entry.bounds.center();
+                let mut q = [0u32; 3];
+                for a in 0..3 {
+                    let t = if e[a] > 0.0 {
+                        ((c[a] - meta.domain.lo[a]) / e[a]).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    q[a] = (t * (RES - 1.0)) as u32;
+                }
+                q
+            })
+            .collect();
+        let order = spio_types::zorder::zorder_permutation(&coords);
+        // Contiguous blocks of the curve, sized as evenly as possible.
+        let n = order.len();
+        let base = n / nreaders;
+        let extra = n % nreaders;
+        let start = rank * base + rank.min(extra);
+        let len = base + usize::from(rank < extra);
+        order[start..start + len].to_vec()
+    }
+
+    /// Number of levels available (dataset-wide).
+    pub fn num_levels(&self) -> u32 {
+        self.lod.num_levels(self.nreaders, self.dataset_total)
+    }
+
+    /// The next level this cursor would read.
+    pub fn next_level(&self) -> u32 {
+        self.next_level
+    }
+
+    /// Particles accumulated so far across this cursor's files.
+    pub fn particles_loaded(&self) -> u64 {
+        self.files.iter().map(|f| f.read_so_far).sum()
+    }
+
+    /// Read the next level: extend every file prefix to its share of the
+    /// cumulative level boundary, returning the newly loaded particles.
+    /// Returns an empty vector once all levels are consumed.
+    pub fn read_next_level<S: Storage>(
+        &mut self,
+        storage: &S,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let t0 = Instant::now();
+        let mut stats = ReadStats::default();
+        let mut out = Vec::new();
+        if self.next_level >= self.num_levels() {
+            stats.time = t0.elapsed();
+            return Ok((out, stats));
+        }
+        let global_prefix =
+            self.lod
+                .prefix_len(self.nreaders, self.next_level, self.dataset_total);
+        for f in &mut self.files {
+            let target = LodParams::file_prefix(f.total, self.dataset_total, global_prefix);
+            if target > f.read_so_far {
+                let (start, end) = payload_range(f.read_so_far as usize, target as usize);
+                let bytes = storage.read_range(&f.name, start, end)?;
+                stats.files_opened += 1;
+                stats.bytes_read += bytes.len() as u64;
+                out.extend(spio_types::particle::decode_particles(&bytes));
+                f.read_so_far = target;
+            }
+        }
+        self.next_level += 1;
+        stats.particles_read = out.len() as u64;
+        stats.time = t0.elapsed();
+        Ok((out, stats))
+    }
+
+    /// Read levels `0 ..= level` (from the cursor's current position),
+    /// returning everything loaded.
+    pub fn read_through_level<S: Storage>(
+        &mut self,
+        storage: &S,
+        level: u32,
+    ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
+        let mut out = Vec::new();
+        let mut all_stats = Vec::new();
+        while self.next_level <= level && self.next_level < self.num_levels() {
+            let (ps, stats) = self.read_next_level(storage)?;
+            out.extend(ps);
+            all_stats.push(stats);
+        }
+        let mut merged = ReadStats::merge(&all_stats);
+        merged.time = all_stats.iter().map(|s| s.time).sum();
+        Ok((out, merged))
+    }
+}
+
+impl DatasetReader {
+    /// A LOD cursor restricted to the files intersecting `query`:
+    /// progressive refinement *within a region* (e.g. a view frustum) —
+    /// each level touches only the relevant files, and within them only
+    /// prefix bytes.
+    pub fn lod_box_cursor(&self, query: &Aabb3, nreaders: usize) -> LodCursor {
+        let files = self.meta.files_intersecting(query);
+        LodCursor::new(&self.meta, &files, nreaders)
+    }
+}
+
+/// Convenience wrapper: a full-dataset progressive reader for one rank of a
+/// reader group, with files assigned round-robin.
+pub struct LodReader {
+    pub cursor: LodCursor,
+}
+
+impl LodReader {
+    /// Open the dataset and build this rank's cursor.
+    pub fn open<S: Storage>(storage: &S, nreaders: usize, rank: usize) -> Result<Self, SpioError> {
+        let reader = DatasetReader::open(storage)?;
+        let indices = LodCursor::files_for_reader(&reader.meta, nreaders, rank);
+        Ok(LodReader {
+            cursor: LodCursor::new(&reader.meta, &indices, nreaders),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use crate::writer::{SpatialWriter, WriterConfig};
+    use spio_comm::run_threaded_collect;
+    use spio_types::{DomainDecomposition, PartitionFactor};
+
+    /// Write a 4×4×1 dataset with 2×2 aggregation, `per_rank` particles per
+    /// rank laid out deterministically inside each patch.
+    fn build_dataset(per_rank: usize) -> MemStorage {
+        let storage = MemStorage::new();
+        let s2 = storage.clone();
+        let d = DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [1.0; 3]),
+            GridDims::new(4, 4, 1),
+        );
+        run_threaded_collect(16, move |comm| {
+            let b = d.patch_bounds(comm.rank());
+            let e = b.extent();
+            let particles: Vec<Particle> = (0..per_rank)
+                .map(|i| {
+                    let t = (i as f64 + 0.5) / per_rank as f64;
+                    let u = ((i * 13 + 5) % per_rank) as f64 / per_rank as f64;
+                    Particle::synthetic(
+                        [b.lo[0] + t * e[0] * 0.99, b.lo[1] + u * e[1] * 0.99, 0.5],
+                        ((comm.rank() as u64) << 32) | i as u64,
+                    )
+                })
+                .collect();
+            let writer = SpatialWriter::new(
+                d.clone(),
+                WriterConfig::new(PartitionFactor::new(2, 2, 1)),
+            );
+            writer.write(&comm, &particles, &s2).unwrap();
+        })
+        .unwrap();
+        storage
+    }
+
+    #[test]
+    fn open_parses_metadata() {
+        let storage = build_dataset(20);
+        let r = DatasetReader::open(&storage).unwrap();
+        assert_eq!(r.meta.entries.len(), 4);
+        assert_eq!(r.meta.total_particles, 320);
+    }
+
+    #[test]
+    fn box_query_reads_only_needed_files() {
+        let storage = build_dataset(20);
+        let r = DatasetReader::open(&storage).unwrap();
+        // Query strictly inside the lower-left quadrant.
+        let q = Aabb3::new([0.05, 0.05, 0.0], [0.4, 0.4, 1.0]);
+        let (ps, stats) = r.read_box(&storage, &q).unwrap();
+        assert_eq!(stats.files_opened, 1, "one quadrant ⇒ one file");
+        assert!(ps.iter().all(|p| q.contains(p.position)));
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn without_metadata_reads_everything() {
+        let storage = build_dataset(20);
+        let r = DatasetReader::open(&storage).unwrap();
+        let q = Aabb3::new([0.05, 0.05, 0.0], [0.4, 0.4, 1.0]);
+        let (with, s_with) = r.read_box(&storage, &q).unwrap();
+        let (without, s_without) = r.read_box_without_metadata(&storage, &q).unwrap();
+        // Same answer…
+        let mut a: Vec<u64> = with.iter().map(|p| p.id).collect();
+        let mut b: Vec<u64> = without.iter().map(|p| p.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // …but the metadata-less read opened all 4 files and discarded most
+        // of what it decoded.
+        assert_eq!(s_without.files_opened, 4);
+        assert!(s_without.bytes_read > s_with.bytes_read);
+        assert!(s_without.particles_discarded > 0);
+    }
+
+    #[test]
+    fn full_domain_read_recovers_every_particle() {
+        let storage = build_dataset(25);
+        let r = DatasetReader::open(&storage).unwrap();
+        let (ps, _) = r.read_all(&storage).unwrap();
+        assert_eq!(ps.len(), 400);
+        let mut ids: Vec<u64> = ps.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "no duplicates");
+    }
+
+    #[test]
+    fn parallel_box_readers_partition_the_domain() {
+        let storage = build_dataset(20);
+        let results = run_threaded_collect(4, move |comm| {
+            let (ps, stats) = BoxQueryReader::read(&comm, &storage.clone(), true).unwrap();
+            (ps, stats.files_opened)
+        })
+        .unwrap();
+        let total: usize = results.iter().map(|(ps, _)| ps.len()).sum();
+        assert_eq!(total, 320, "readers together recover the dataset");
+        // Reader subdomains are disjoint: no particle appears twice.
+        let mut ids: Vec<u64> = results
+            .iter()
+            .flat_map(|(ps, _)| ps.iter().map(|p| p.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 320);
+    }
+
+    #[test]
+    fn lod_levels_accumulate_to_full_dataset() {
+        let storage = build_dataset(32); // total 512
+        let r = DatasetReader::open(&storage).unwrap();
+        let indices: Vec<usize> = (0..r.meta.entries.len()).collect();
+        let mut cursor = LodCursor::new(&r.meta, &indices, 1);
+        // P=32, S=2, n=1, total=512 ⇒ levels 32, 64, 128, 256, 32.
+        assert_eq!(cursor.num_levels(), 5);
+        let mut all = Vec::new();
+        let mut level_sizes = Vec::new();
+        for _ in 0..cursor.num_levels() {
+            let (ps, _) = cursor.read_next_level(&storage).unwrap();
+            level_sizes.push(ps.len());
+            all.extend(ps);
+        }
+        assert_eq!(all.len(), 512);
+        let mut ids: Vec<u64> = all.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 512, "levels are disjoint and complete");
+        // Level sizes follow the geometric progression (up to proportional-
+        // split rounding across 4 files).
+        assert!((30..=36).contains(&level_sizes[0]), "{level_sizes:?}");
+        assert!((60..=70).contains(&level_sizes[1]), "{level_sizes:?}");
+        // Exhausted cursor returns nothing.
+        let (ps, _) = cursor.read_next_level(&storage).unwrap();
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn lod_prefix_is_spatially_representative() {
+        let storage = build_dataset(64); // total 1024
+        let r = DatasetReader::open(&storage).unwrap();
+        let indices: Vec<usize> = (0..r.meta.entries.len()).collect();
+        let mut cursor = LodCursor::new(&r.meta, &indices, 1);
+        let (ps, _) = cursor.read_through_level(&storage, 1).unwrap(); // ~96 particles
+        // All four quadrants must be represented.
+        for (qx, qy) in [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)] {
+            let q = Aabb3::new([qx, qy, 0.0], [qx + 0.5, qy + 0.5, 1.0]);
+            assert!(
+                ps.iter().any(|p| q.contains(p.position)),
+                "quadrant ({qx},{qy}) unrepresented in LOD prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_reader_lod_covers_all_files() {
+        let storage = build_dataset(32);
+        let results = run_threaded_collect(2, move |comm| {
+            let mut reader = LodReader::open(&storage.clone(), 2, comm.rank()).unwrap();
+            let levels = reader.cursor.num_levels();
+            let (ps, _) = reader
+                .cursor
+                .read_through_level(&storage.clone(), levels - 1)
+                .unwrap();
+            ps
+        })
+        .unwrap();
+        let total: usize = results.iter().map(Vec::len).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn restart_redistributes_onto_different_rank_counts() {
+        let storage = build_dataset(25); // written by 16 ranks, 400 total
+        for new_ranks in [2usize, 4, 8] {
+            let s = storage.clone();
+            let new_decomp = DomainDecomposition::uniform(
+                Aabb3::new([0.0; 3], [1.0; 3]),
+                GridDims::near_cubic(new_ranks),
+            );
+            let nd = new_decomp.clone();
+            let per_rank = run_threaded_collect(new_ranks, move |comm| {
+                let (ps, _) = RestartReader::read(&comm, &nd, &s).unwrap();
+                // Everything landed in this rank's patch.
+                let b = nd.patch_bounds(comm.rank());
+                assert!(ps.iter().all(|p| b.contains(p.position)));
+                ps.iter().map(|p| p.id).collect::<Vec<u64>>()
+            })
+            .unwrap();
+            let mut all: Vec<u64> = per_rank.into_iter().flatten().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 400, "restart onto {new_ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn restart_rejects_mismatched_world() {
+        let storage = build_dataset(10);
+        let res = run_threaded_collect(3, move |comm| {
+            let nd = DomainDecomposition::uniform(
+                Aabb3::new([0.0; 3], [1.0; 3]),
+                GridDims::new(2, 1, 1), // needs 2 ranks, world is 3
+            );
+            RestartReader::read(&comm, &nd, &storage.clone()).map(|_| ())
+        })
+        .unwrap();
+        assert!(res.iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn windowed_lod_refines_only_the_query_region() {
+        let storage = build_dataset(64); // 1024 particles over 4 quadrant files
+        let r = DatasetReader::open(&storage).unwrap();
+        // Window covering only the lower-left quadrant.
+        let q = Aabb3::new([0.05, 0.05, 0.0], [0.4, 0.4, 1.0]);
+        let mut cursor = r.lod_box_cursor(&q, 1);
+        let mut loaded = Vec::new();
+        let mut bytes = 0;
+        for _ in 0..cursor.num_levels() {
+            let (ps, stats) = cursor.read_next_level(&storage).unwrap();
+            loaded.extend(ps);
+            bytes += stats.bytes_read;
+        }
+        // Only that quadrant's file was consumed: 256 of 1024 particles.
+        assert_eq!(loaded.len(), 256);
+        let quadrant = Aabb3::new([0.0, 0.0, 0.0], [0.5, 0.5, 1.0]);
+        assert!(loaded.iter().all(|p| quadrant.contains(p.position)));
+        // Far less I/O than the full dataset.
+        assert!(bytes < storage.total_bytes() / 3);
+    }
+
+    #[test]
+    fn zorder_assignment_is_complete_and_more_compact() {
+        // A 16-file dataset: file-per-process layout of a 4×4×1 grid.
+        let storage = MemStorage::new();
+        let s2 = storage.clone();
+        let d = DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [1.0; 3]),
+            GridDims::new(4, 4, 1),
+        );
+        run_threaded_collect(16, move |comm| {
+            let b = d.patch_bounds(comm.rank());
+            let ps: Vec<Particle> = (0..20)
+                .map(|i| {
+                    Particle::synthetic(
+                        [
+                            b.lo[0] + 0.01 + (i as f64) * 0.01,
+                            b.center()[1],
+                            0.5,
+                        ],
+                        ((comm.rank() as u64) << 32) | i,
+                    )
+                })
+                .collect();
+            crate::writer::SpatialWriter::new(
+                d.clone(),
+                crate::writer::WriterConfig::new(PartitionFactor::new(1, 1, 1)),
+            )
+            .write(&comm, &ps, &s2)
+            .unwrap();
+        })
+        .unwrap();
+        let r = DatasetReader::open(&storage).unwrap();
+        let meta = &r.meta;
+        // Completeness: both assignments cover every file exactly once.
+        for nreaders in [1usize, 2, 3, 5, 16] {
+            let mut z: Vec<usize> = (0..nreaders)
+                .flat_map(|k| LodCursor::files_for_reader_zorder(meta, nreaders, k))
+                .collect();
+            z.sort_unstable();
+            assert_eq!(z, (0..meta.entries.len()).collect::<Vec<_>>());
+        }
+        // Compactness: with 2 readers over 16 tiles, each z-order reader's
+        // 8 files form a half-plane (union volume 0.5); round-robin
+        // scatters every other tile across the whole domain (union 1.0).
+        let union_volume = |files: &[usize]| {
+            files
+                .iter()
+                .map(|&i| meta.entries[i].bounds)
+                .reduce(|a, b| a.union(&b))
+                .unwrap()
+                .volume()
+        };
+        let z0 = LodCursor::files_for_reader_zorder(meta, 2, 0);
+        let rr0 = LodCursor::files_for_reader(meta, 2, 0);
+        assert!(
+            union_volume(&z0) < 0.75 * union_volume(&rr0),
+            "z-order {:?} ({}) vs round-robin {:?} ({})",
+            z0,
+            union_volume(&z0),
+            rr0,
+            union_volume(&rr0)
+        );
+    }
+
+    #[test]
+    fn reader_queries_tile_domain() {
+        let domain = Aabb3::new([0.0; 3], [2.0; 3]);
+        for n in [1, 2, 4, 8, 6] {
+            let vol: f64 = (0..n)
+                .map(|r| BoxQueryReader::reader_query(&domain, n, r).volume())
+                .sum();
+            assert!((vol - domain.volume()).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn open_missing_dataset_errors() {
+        let storage = MemStorage::new();
+        assert!(matches!(
+            DatasetReader::open(&storage),
+            Err(SpioError::NotFound(_))
+        ));
+    }
+}

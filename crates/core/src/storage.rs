@@ -1,0 +1,259 @@
+//! Storage backends.
+//!
+//! The writer and readers are generic over [`Storage`] so the same algorithm
+//! code runs against a real filesystem ([`FsStorage`]) and an in-memory
+//! store ([`MemStorage`]) used by tests and by the property suite, while the
+//! `hpcsim` crate models storage timing separately from these functional
+//! backends.
+
+use parking_lot::RwLock;
+use spio_types::SpioError;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A flat namespace of immutable files, written once and read many times —
+/// all the paper's format needs.
+pub trait Storage: Send + Sync {
+    /// Create (or replace) `name` with `data`.
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError>;
+
+    /// Read the entire contents of `name`.
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError>;
+
+    /// Read bytes `[start, end)` of `name`. Reading past the end of the
+    /// file is an error (callers compute ranges from headers they trust).
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError>;
+
+    /// Size of `name` in bytes.
+    fn file_size(&self, name: &str) -> Result<u64, SpioError>;
+
+    /// Does `name` exist?
+    fn exists(&self, name: &str) -> bool;
+
+    /// Write `data` at byte `offset`, creating or growing the file as
+    /// needed (gaps are zero-filled). Concurrent writers to disjoint
+    /// ranges of the same file are allowed — this is what shared-file
+    /// (collective) baselines use.
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError>;
+}
+
+/// Filesystem-backed storage rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// Open (creating if needed) a dataset directory.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        // Creation is idempotent; failures surface on first write.
+        let _ = fs::create_dir_all(&root);
+        FsStorage { root }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// The dataset directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+}
+
+impl Storage for FsStorage {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+        fs::write(self.path(name), data)?;
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+        fs::read(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => SpioError::NotFound(name.to_string()),
+            _ => SpioError::Io(e),
+        })
+    }
+
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
+        debug_assert!(start <= end);
+        let mut f = fs::File::open(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => SpioError::NotFound(name.to_string()),
+            _ => SpioError::Io(e),
+        })?;
+        f.seek(SeekFrom::Start(start))?;
+        let len = (end - start) as usize;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(|e| {
+            SpioError::Format(format!(
+                "range [{start}, {end}) of '{name}' unreadable: {e}"
+            ))
+        })?;
+        Ok(buf)
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+        Ok(fs::metadata(self.path(name))
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::NotFound => SpioError::NotFound(name.to_string()),
+                _ => SpioError::Io(e),
+            })?
+            .len())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .open(self.path(name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+}
+
+/// In-memory storage, shareable across rank threads.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    files: Arc<RwLock<HashMap<String, Arc<Vec<u8>>>>>,
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names of all stored files (sorted, for deterministic assertions).
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Storage for MemStorage {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+        self.files
+            .write()
+            .insert(name.to_string(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+        self.files
+            .read()
+            .get(name)
+            .map(|v| v.as_ref().clone())
+            .ok_or_else(|| SpioError::NotFound(name.to_string()))
+    }
+
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
+        debug_assert!(start <= end);
+        let files = self.files.read();
+        let data = files
+            .get(name)
+            .ok_or_else(|| SpioError::NotFound(name.to_string()))?;
+        if end > data.len() as u64 {
+            return Err(SpioError::Format(format!(
+                "range [{start}, {end}) beyond '{name}' ({} bytes)",
+                data.len()
+            )));
+        }
+        Ok(data[start as usize..end as usize].to_vec())
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+        self.files
+            .read()
+            .get(name)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| SpioError::NotFound(name.to_string()))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
+        let mut files = self.files.write();
+        let entry = files.entry(name.to_string()).or_default();
+        let buf = Arc::make_mut(entry);
+        let end = offset as usize + data.len();
+        if buf.len() < end {
+            buf.resize(end, 0);
+        }
+        buf[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &dyn Storage) {
+        storage.write_file("a.bin", &[1, 2, 3, 4, 5]).unwrap();
+        assert!(storage.exists("a.bin"));
+        assert!(!storage.exists("b.bin"));
+        assert_eq!(storage.read_file("a.bin").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(storage.file_size("a.bin").unwrap(), 5);
+        assert_eq!(storage.read_range("a.bin", 1, 4).unwrap(), vec![2, 3, 4]);
+        assert_eq!(storage.read_range("a.bin", 2, 2).unwrap(), Vec::<u8>::new());
+        assert!(storage.read_range("a.bin", 3, 10).is_err());
+        assert!(matches!(
+            storage.read_file("missing"),
+            Err(SpioError::NotFound(_))
+        ));
+        // Overwrite replaces content.
+        storage.write_file("a.bin", &[9]).unwrap();
+        assert_eq!(storage.read_file("a.bin").unwrap(), vec![9]);
+        // Ranged writes create, grow and zero-fill.
+        storage.write_range("r.bin", 4, &[7, 8]).unwrap();
+        assert_eq!(storage.read_file("r.bin").unwrap(), vec![0, 0, 0, 0, 7, 8]);
+        storage.write_range("r.bin", 0, &[1]).unwrap();
+        assert_eq!(storage.read_file("r.bin").unwrap(), vec![1, 0, 0, 0, 7, 8]);
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(&MemStorage::new());
+    }
+
+    #[test]
+    fn fs_storage_contract() {
+        let dir = tempfile::tempdir().unwrap();
+        exercise(&FsStorage::new(dir.path()));
+    }
+
+    #[test]
+    fn mem_storage_shared_between_clones() {
+        let a = MemStorage::new();
+        let b = a.clone();
+        a.write_file("x", &[7]).unwrap();
+        assert_eq!(b.read_file("x").unwrap(), vec![7]);
+        assert_eq!(b.file_names(), vec!["x".to_string()]);
+        assert_eq!(b.total_bytes(), 1);
+    }
+
+    #[test]
+    fn fs_storage_nested_root_created() {
+        let dir = tempfile::tempdir().unwrap();
+        let nested = dir.path().join("a/b/c");
+        let s = FsStorage::new(&nested);
+        s.write_file("f", &[1]).unwrap();
+        assert!(nested.join("f").exists());
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the core invariants the paper's design rests on:
+//! aggregation conserves particles, every particle lands in the file whose
+//! box contains it, boxes are disjoint, and box queries are exact.
+
+use proptest::prelude::*;
+use spio_comm::run_threaded_collect;
+use spio_core::plan::plan_write;
+use spio_core::{DatasetReader, MemStorage, SpatialWriter, Storage, WriteMode, WriterConfig};
+use spio_format::data_file::decode_data_file;
+use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, PartitionFactor};
+
+/// Deterministic pseudo-random particles inside (or around) a rank's patch.
+fn particles_for(
+    decomp: &DomainDecomposition,
+    rank: usize,
+    count: usize,
+    seed: u64,
+    stray: bool,
+) -> Vec<Particle> {
+    let b = if stray {
+        decomp.bounds
+    } else {
+        decomp.patch_bounds(rank)
+    };
+    let e = b.extent();
+    (0..count)
+        .map(|i| {
+            let mut h = seed ^ ((rank as u64) << 32) ^ i as u64;
+            let mut next = || {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((h >> 33) as f64 / (1u64 << 31) as f64).fract().abs()
+            };
+            let pos = [
+                b.lo[0] + next() * e[0] * 0.999,
+                b.lo[1] + next() * e[1] * 0.999,
+                b.lo[2] + next() * e[2] * 0.999,
+            ];
+            Particle::synthetic(pos, ((rank as u64) << 32) | i as u64)
+        })
+        .collect()
+}
+
+fn run_write(
+    dims: (usize, usize, usize),
+    factor: (usize, usize, usize),
+    counts: Vec<usize>,
+    seed: u64,
+    mode: WriteMode,
+    adaptive: bool,
+) -> (MemStorage, DomainDecomposition) {
+    let decomp = DomainDecomposition::uniform(
+        Aabb3::new([0.0; 3], [1.0; 3]),
+        GridDims::new(dims.0, dims.1, dims.2),
+    );
+    let storage = MemStorage::new();
+    let s2 = storage.clone();
+    let d2 = decomp.clone();
+    let stray = mode == WriteMode::General;
+    run_threaded_collect(decomp.nprocs(), move |comm| {
+        use spio_comm::Comm;
+        let ps = particles_for(&d2, comm.rank(), counts[comm.rank()], seed, stray);
+        let writer = SpatialWriter::new(
+            d2.clone(),
+            WriterConfig::new(PartitionFactor::new(factor.0, factor.1, factor.2))
+                .with_seed(seed)
+                .with_mode(mode)
+                .adaptive(adaptive),
+        );
+        writer.write(&comm, &ps, &s2).unwrap();
+    })
+    .unwrap();
+    (storage, decomp)
+}
+
+/// Check the end-to-end invariants on a written dataset.
+fn check_invariants(storage: &MemStorage, expected_total: u64) {
+    let reader = DatasetReader::open(storage).unwrap();
+    let meta = &reader.meta;
+    meta.validate_disjoint().unwrap();
+    assert_eq!(meta.total_particles, expected_total);
+    let mut ids = Vec::new();
+    for entry in &meta.entries {
+        let bytes = storage.read_file(&entry.file_name()).unwrap();
+        let (header, ps) = decode_data_file(&bytes).unwrap();
+        assert_eq!(header.particle_count, entry.particle_count);
+        assert!(
+            ps.iter().all(|p| entry.bounds.contains(p.position)),
+            "spatial containment violated"
+        );
+        ids.extend(ps.iter().map(|p| p.id));
+    }
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicated particles");
+    assert_eq!(ids.len() as u64, expected_total, "lost particles");
+}
+
+fn small_grids() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        Just((2, 2, 1)),
+        Just((4, 2, 1)),
+        Just((2, 2, 2)),
+        Just((4, 2, 2)),
+        Just((3, 2, 1)),
+        Just((5, 2, 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full threaded job
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn aligned_write_conserves_particles(
+        dims in small_grids(),
+        fx in 1usize..3, fy in 1usize..3, fz in 1usize..3,
+        per_rank in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(fx <= dims.0 && fy <= dims.1 && fz <= dims.2);
+        let n = dims.0 * dims.1 * dims.2;
+        let counts = vec![per_rank; n];
+        let (storage, _) = run_write(dims, (fx, fy, fz), counts, seed, WriteMode::Aligned, false);
+        check_invariants(&storage, (n * per_rank) as u64);
+    }
+
+    #[test]
+    fn general_mode_conserves_stray_particles(
+        dims in small_grids(),
+        per_rank in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        // Particles spread over the whole domain regardless of owner rank.
+        let n = dims.0 * dims.1 * dims.2;
+        let counts = vec![per_rank; n];
+        let (storage, _) = run_write(dims, (1, 1, 1), counts, seed, WriteMode::General, false);
+        check_invariants(&storage, (n * per_rank) as u64);
+    }
+
+    #[test]
+    fn adaptive_write_conserves_uneven_loads(
+        dims in small_grids(),
+        seed in any::<u64>(),
+        loads in prop::collection::vec(0usize..80, 40),
+    ) {
+        let n = dims.0 * dims.1 * dims.2;
+        let counts: Vec<usize> = (0..n).map(|r| loads[r % loads.len()]).collect();
+        let total: usize = counts.iter().sum();
+        prop_assume!(total > 0);
+        let (storage, _) = run_write(dims, (2, 2, 1), counts, seed, WriteMode::Aligned, true);
+        check_invariants(&storage, total as u64);
+    }
+
+    #[test]
+    fn box_queries_are_exact(
+        seed in any::<u64>(),
+        qlo in prop::array::uniform3(0.0f64..0.8),
+        qext in prop::array::uniform3(0.05f64..0.6),
+    ) {
+        let (storage, _) = run_write((4, 2, 2), (2, 2, 1), vec![40; 16], seed, WriteMode::Aligned, false);
+        let reader = DatasetReader::open(&storage).unwrap();
+        let q = Aabb3::new(qlo, [
+            (qlo[0] + qext[0]).min(1.0),
+            (qlo[1] + qext[1]).min(1.0),
+            (qlo[2] + qext[2]).min(1.0),
+        ]);
+        let (fast, _) = reader.read_box(&storage, &q).unwrap();
+        let (slow, _) = reader.read_box_without_metadata(&storage, &q).unwrap();
+        let mut a: Vec<u64> = fast.iter().map(|p| p.id).collect();
+        let mut b: Vec<u64> = slow.iter().map(|p| p.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "metadata-guided read must equal the full scan");
+        prop_assert!(fast.iter().all(|p| q.contains(p.position)));
+    }
+
+    #[test]
+    fn plan_predicts_real_execution(
+        dims in small_grids(),
+        fx in 1usize..3, fy in 1usize..3,
+        per_rank in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(fx <= dims.0 && fy <= dims.1);
+        let n = dims.0 * dims.1 * dims.2;
+        let decomp = DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [1.0; 3]),
+            GridDims::new(dims.0, dims.1, dims.2),
+        );
+        let plan = plan_write(
+            &decomp,
+            PartitionFactor::new(fx, fy, 1),
+            &vec![per_rank as u64; n],
+            false,
+        )
+        .unwrap();
+        let (storage, _) =
+            run_write(dims, (fx, fy, 1), vec![per_rank; n], seed, WriteMode::Aligned, false);
+        // The plan's file inventory must match what the real writer
+        // produced: same count, same writers, same byte sizes.
+        let reader = DatasetReader::open(&storage).unwrap();
+        prop_assert_eq!(plan.partition_count, reader.meta.entries.len());
+        for (w, entry) in plan.file_writes.iter().zip(&reader.meta.entries) {
+            prop_assert_eq!(w.rank as u64, entry.agg_rank);
+            let actual = storage.file_size(&entry.file_name()).unwrap();
+            prop_assert_eq!(w.bytes, actual, "planned size must match written size");
+        }
+    }
+}

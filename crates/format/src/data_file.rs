@@ -1,0 +1,251 @@
+//! Per-aggregator data file: fixed header + LOD-ordered particle payload.
+
+use spio_types::{Aabb3, Particle, SpioError, PARTICLE_BYTES};
+
+/// Magic bytes opening every data file.
+pub const DATA_MAGIC: [u8; 8] = *b"SPIOPRT1";
+/// Current data-file format version.
+pub const DATA_VERSION: u32 = 1;
+/// Serialized header size in bytes.
+pub const HEADER_BYTES: usize = 8 + 4 + 4 + 8 + 48 + 8 + 16;
+
+/// Header of a data file.
+///
+/// The header records everything a reader needs to interpret the payload
+/// without consulting the metadata file: how many particles follow, the
+/// bounding box they live in (the aggregation partition's box), and the
+/// seed of the LOD shuffle so the permutation is reproducible for
+/// verification tooling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataFileHeader {
+    pub version: u32,
+    /// Reserved for format evolution (compression, extra attributes, …).
+    pub flags: u32,
+    /// Number of particle records in the payload.
+    pub particle_count: u64,
+    /// Spatial bounds of the particles (the partition box).
+    pub bounds: Aabb3,
+    /// Seed used for the LOD random shuffle of this file's payload.
+    pub shuffle_seed: u64,
+}
+
+impl DataFileHeader {
+    pub fn new(particle_count: u64, bounds: Aabb3, shuffle_seed: u64) -> Self {
+        DataFileHeader {
+            version: DATA_VERSION,
+            flags: 0,
+            particle_count,
+            bounds,
+            shuffle_seed,
+        }
+    }
+
+    /// Serialize to exactly [`HEADER_BYTES`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES);
+        out.extend_from_slice(&DATA_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.particle_count.to_le_bytes());
+        for v in self.bounds.lo.iter().chain(&self.bounds.hi) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.shuffle_seed.to_le_bytes());
+        out.extend_from_slice(&[0u8; 16]); // reserved
+        debug_assert_eq!(out.len(), HEADER_BYTES);
+        out
+    }
+
+    /// Parse a header from the start of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SpioError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(SpioError::Format(format!(
+                "data file truncated: {} bytes, header needs {HEADER_BYTES}",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != DATA_MAGIC {
+            return Err(SpioError::Format("bad data-file magic".into()));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let f64_at = |o: usize| f64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != DATA_VERSION {
+            return Err(SpioError::Format(format!(
+                "unsupported data-file version {version} (expected {DATA_VERSION})"
+            )));
+        }
+        let flags = u32_at(12);
+        let particle_count = u64_at(16);
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for a in 0..3 {
+            lo[a] = f64_at(24 + a * 8);
+            hi[a] = f64_at(48 + a * 8);
+        }
+        let shuffle_seed = u64_at(72);
+        Ok(DataFileHeader {
+            version,
+            flags,
+            particle_count,
+            bounds: Aabb3 { lo, hi },
+            shuffle_seed,
+        })
+    }
+}
+
+/// Serialize a complete data file (header + payload) into one buffer.
+pub fn encode_data_file(header: &DataFileHeader, particles: &[Particle]) -> Vec<u8> {
+    debug_assert_eq!(header.particle_count as usize, particles.len());
+    let mut out = header.encode();
+    out.reserve(particles.len() * PARTICLE_BYTES);
+    for p in particles {
+        p.encode(&mut out);
+    }
+    out
+}
+
+/// Parse a complete data file, validating payload length against the header.
+pub fn decode_data_file(bytes: &[u8]) -> Result<(DataFileHeader, Vec<Particle>), SpioError> {
+    let header = DataFileHeader::decode(bytes)?;
+    let payload = &bytes[HEADER_BYTES..];
+    // Checked arithmetic: a corrupted count must produce an error, not an
+    // overflow panic.
+    let expected = header
+        .particle_count
+        .checked_mul(PARTICLE_BYTES as u64)
+        .filter(|&e| e == payload.len() as u64);
+    if expected.is_none() {
+        return Err(SpioError::Format(format!(
+            "payload is {} bytes, header declares {} particles",
+            payload.len(),
+            header.particle_count
+        )));
+    }
+    let particles = payload.chunks_exact(PARTICLE_BYTES).map(Particle::decode).collect();
+    Ok((header, particles))
+}
+
+/// Decode only the first `prefix` particles of a file — the core LOD-read
+/// operation: a prefix of the shuffled payload is a uniform subsample.
+///
+/// `bytes` may be the whole file or any prefix long enough to hold the
+/// requested records (readers fetch exactly `payload_range(prefix)` bytes).
+pub fn decode_prefix(bytes: &[u8], prefix: usize) -> Result<(DataFileHeader, Vec<Particle>), SpioError> {
+    let header = DataFileHeader::decode(bytes)?;
+    let want = (prefix as u64).min(header.particle_count) as usize;
+    let need = (want as u64)
+        .checked_mul(PARTICLE_BYTES as u64)
+        .and_then(|p| p.checked_add(HEADER_BYTES as u64))
+        .ok_or_else(|| SpioError::Format("prefix length overflows".into()))?;
+    if (bytes.len() as u64) < need {
+        return Err(SpioError::Format(format!(
+            "prefix read needs {need} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let need = need as usize;
+    let particles = bytes[HEADER_BYTES..need]
+        .chunks_exact(PARTICLE_BYTES)
+        .map(Particle::decode)
+        .collect();
+    Ok((header, particles))
+}
+
+/// Byte range `[start, end)` of particle records `[from, to)` within a data
+/// file — what a reader passes to a ranged read to append one more LOD
+/// level.
+pub fn payload_range(from: usize, to: usize) -> (u64, u64) {
+    debug_assert!(from <= to);
+    (
+        (HEADER_BYTES + from * PARTICLE_BYTES) as u64,
+        (HEADER_BYTES + to * PARTICLE_BYTES) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> DataFileHeader {
+        DataFileHeader::new(3, Aabb3::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]), 0xDEADBEEF)
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        assert_eq!(DataFileHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = sample_header().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            DataFileHeader::decode(&bytes),
+            Err(SpioError::Format(m)) if m.contains("magic")
+        ));
+        let mut bytes = sample_header().encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            DataFileHeader::decode(&bytes),
+            Err(SpioError::Format(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let bytes = sample_header().encode();
+        assert!(DataFileHeader::decode(&bytes[..HEADER_BYTES - 1]).is_err());
+    }
+
+    #[test]
+    fn whole_file_roundtrip() {
+        let ps: Vec<Particle> = (0..3)
+            .map(|i| Particle::synthetic([i as f64, 0.5, 2.5], 100 + i))
+            .collect();
+        let h = sample_header();
+        let bytes = encode_data_file(&h, &ps);
+        let (h2, ps2) = decode_data_file(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(ps2, ps);
+    }
+
+    #[test]
+    fn detects_payload_length_mismatch() {
+        let ps: Vec<Particle> = (0..3).map(|i| Particle::synthetic([0.0; 3], i)).collect();
+        let h = sample_header();
+        let mut bytes = encode_data_file(&h, &ps);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_data_file(&bytes).is_err());
+    }
+
+    #[test]
+    fn prefix_reads_partial_payload() {
+        let ps: Vec<Particle> = (0..10).map(|i| Particle::synthetic([0.0; 3], i)).collect();
+        let h = DataFileHeader::new(10, Aabb3::new([0.0; 3], [1.0; 3]), 1);
+        let bytes = encode_data_file(&h, &ps);
+        let (_, got) = decode_prefix(&bytes, 4).unwrap();
+        assert_eq!(got, ps[..4]);
+        // Prefix beyond the file clamps to the full payload.
+        let (_, got) = decode_prefix(&bytes, 100).unwrap();
+        assert_eq!(got, ps);
+        // A prefix read works from a truncated buffer of exactly the right size.
+        let (_, end) = payload_range(0, 4);
+        let (_, got) = decode_prefix(&bytes[..end as usize], 4).unwrap();
+        assert_eq!(got, ps[..4]);
+    }
+
+    #[test]
+    fn payload_range_math() {
+        let (s, e) = payload_range(0, 0);
+        assert_eq!(s, e);
+        assert_eq!(s, HEADER_BYTES as u64);
+        let (s, e) = payload_range(2, 5);
+        assert_eq!(s, (HEADER_BYTES + 2 * PARTICLE_BYTES) as u64);
+        assert_eq!(e - s, (3 * PARTICLE_BYTES) as u64);
+    }
+}

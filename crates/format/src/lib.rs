@@ -1,0 +1,49 @@
+//! # spio-format
+//!
+//! The on-disk format written by the spatially-aware I/O system:
+//!
+//! * **Data files** ([`data_file`]) — one per aggregation partition, holding
+//!   a header plus that partition's particles in level-of-detail order
+//!   (§3.4). Because the LOD order is a random permutation, any prefix of
+//!   the payload is a uniform spatial subsample of the partition.
+//! * **The spatial metadata file** ([`meta`]) — the Fig. 4 table: one row
+//!   per data file with the aggregator rank (from which the data file's name
+//!   is derived) and the bounding box of the particles inside it, plus the
+//!   global information readers need (domain bounds, LOD parameters, writer
+//!   configuration).
+//! * **LOD level math** ([`lod`]) — the `x(n, l) = n · P · S^l` level-size
+//!   formula of §3.4 and the prefix arithmetic readers use to turn "read up
+//!   to level l" into byte ranges.
+//!
+//! All integers are little-endian; all files start with an 8-byte magic and
+//! a format version so readers can fail fast on foreign bytes.
+
+pub mod data_file;
+pub mod lod;
+pub mod meta;
+
+pub use data_file::{DataFileHeader, DATA_MAGIC, DATA_VERSION};
+pub use lod::LodParams;
+pub use meta::{FileEntry, SpatialMetadata, META_MAGIC, META_VERSION};
+
+/// Derive a data file's name from its aggregator rank, as in Fig. 4
+/// ("Agg rank is used to derive the name of the data file").
+pub fn data_file_name(agg_rank: usize) -> String {
+    format!("file_{agg_rank}.spd")
+}
+
+/// Conventional name of the spatial metadata file inside a dataset
+/// directory.
+pub const META_FILE_NAME: &str = "spatial_meta.spm";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_follow_fig4_convention() {
+        // Fig. 4 derives File_0, File_4, File_8, File_12 from agg ranks.
+        assert_eq!(data_file_name(0), "file_0.spd");
+        assert_eq!(data_file_name(12), "file_12.spd");
+    }
+}

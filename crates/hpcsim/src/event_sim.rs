@@ -1,0 +1,291 @@
+//! Event-level write simulation.
+//!
+//! The phase model in [`crate::write_sim`] treats a write as bulk-
+//! synchronous: all aggregation finishes before any shuffle starts, all
+//! shuffles before any file I/O. Real two-phase I/O overlaps — a partition
+//! whose aggregation finishes early starts writing while others still
+//! communicate. This module replays the same [`WritePlan`] as a chain of
+//! per-partition events through shared FIFO resources:
+//!
+//! ```text
+//! partition i:  [NIC ingest] → [CPU shuffle] → [MDS create] → [server write]
+//!                  private        private        shared pool     shared pool
+//! ```
+//!
+//! Completion times emerge from resource contention rather than phase
+//! barriers, so the event-level makespan is a lower bound on the phase
+//! model's total (and both bound the truth from different sides). The
+//! figure harness uses the phase model — matching the paper's per-phase
+//! reporting — and the tests here cross-validate the two.
+
+use crate::filesystem::FsKind;
+use crate::machine::MachineModel;
+use spio_core::plan::WritePlan;
+use std::collections::HashMap;
+
+/// A pool of identical FIFO servers; jobs take the earliest-available one.
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    avail: Vec<f64>,
+}
+
+impl ServerPool {
+    pub fn new(servers: usize) -> Self {
+        ServerPool {
+            avail: vec![0.0; servers.max(1)],
+        }
+    }
+
+    /// Serve a job arriving at `arrival` with the given `service` time on a
+    /// specific server; returns completion time.
+    pub fn serve_on(&mut self, server: usize, arrival: f64, service: f64) -> f64 {
+        let s = server % self.avail.len();
+        let start = arrival.max(self.avail[s]);
+        let done = start + service;
+        self.avail[s] = done;
+        done
+    }
+
+    /// Serve on the earliest-available server.
+    pub fn serve_earliest(&mut self, arrival: f64, service: f64) -> f64 {
+        let mut best = 0;
+        for (i, &t) in self.avail.iter().enumerate() {
+            if t < self.avail[best] {
+                best = i;
+            }
+        }
+        self.serve_on(best, arrival, service)
+    }
+}
+
+/// Result of an event-level write replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventWriteResult {
+    /// Time when the last partition's file write completes.
+    pub makespan: f64,
+    /// Earliest partition completion (overlap indicator).
+    pub first_done: f64,
+    pub bytes: u64,
+}
+
+impl EventWriteResult {
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.makespan
+    }
+}
+
+/// Replay `plan` event-by-event on `machine`.
+pub fn simulate_spio_write_events(plan: &WritePlan, machine: &MachineModel) -> EventWriteResult {
+    let net = &machine.net;
+    let fs = &machine.fs;
+    let n = plan.nprocs;
+
+    // Group incoming data per aggregator.
+    let mut per_agg: HashMap<usize, Vec<u64>> = HashMap::new();
+    for m in &plan.data_messages {
+        per_agg
+            .entry(m.dst)
+            .or_default()
+            .push(if m.src == m.dst { 0 } else { m.bytes });
+    }
+
+    // Stage timings per partition, in partition order.
+    struct Part {
+        agg_rank: usize,
+        ready: f64, // aggregation + shuffle complete
+        file_bytes: u64,
+        index: usize,
+    }
+    let start = if plan.setup_allgather {
+        net.allgather_time(n, 8)
+    } else {
+        0.0
+    };
+    let mut parts: Vec<Part> = Vec::with_capacity(plan.partition_count);
+    for (idx, ((w, &particles), agg)) in plan
+        .file_writes
+        .iter()
+        .zip(&plan.shuffle_particles)
+        .zip(&plan.aggregators)
+        .enumerate()
+    {
+        // NIC ingest: remote messages serialized at the aggregator.
+        let empty = Vec::new();
+        let msgs = per_agg.get(agg).unwrap_or(&empty);
+        let remote: Vec<u64> = msgs.iter().copied().filter(|&b| b > 0).collect();
+        let ingest = if remote.is_empty() {
+            0.0
+        } else {
+            net.group_gather_time_var(&remote)
+        };
+        // Metadata exchange gates buffer allocation (tiny messages).
+        let meta = net.meta_exchange_time(msgs.len());
+        // CPU shuffle.
+        let shuffle = particles as f64 * machine.shuffle_per_particle;
+        parts.push(Part {
+            agg_rank: *agg,
+            ready: start + meta + ingest + shuffle,
+            file_bytes: w.bytes,
+            index: idx,
+        });
+    }
+
+    // Shared resources: metadata pipelines and data servers.
+    let engaged = fs.engaged_servers(n).max(1);
+    let mds_width = match fs.kind {
+        FsKind::Gpfs => engaged,
+        _ => {
+            // Lustre/SSD expose mds_width pipelines.
+            // (Matches FsModel::create_phase's width choice.)
+            crate::machine::mds_width_of(fs)
+        }
+    };
+    let mut mds = ServerPool::new(mds_width);
+    let mut data = ServerPool::new(engaged);
+    // Create service time under global contention, as in the phase model.
+    let create_service =
+        fs.create_base * (1.0 + plan.partition_count as f64 / fs.create_contention_k0);
+
+    // Process partitions in event order (earliest ready first).
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by(|&a, &b| {
+        parts[a]
+            .ready
+            .total_cmp(&parts[b].ready)
+            .then(parts[a].index.cmp(&parts[b].index))
+    });
+    let mut makespan = 0.0f64;
+    let mut first_done = f64::MAX;
+    for &i in &order {
+        let p = &parts[i];
+        let created = mds.serve_earliest(p.ready, create_service);
+        let service = p.file_bytes as f64 / fs.server_bw + fs.per_file_data_overhead;
+        let done = match fs.kind {
+            FsKind::Gpfs => {
+                let ion = (p.agg_rank / fs.ranks_per_ion) % engaged;
+                data.serve_on(ion, created, service)
+            }
+            _ => data.serve_on(p.index, created, service),
+        };
+        // Client-side rate floor.
+        let done = done.max(created + p.file_bytes as f64 / fs.client_bw);
+        makespan = makespan.max(done);
+        first_done = first_done.min(done);
+    }
+    // Global caps: backend bandwidth and cross-network bandwidth.
+    let floor = (plan.storage_bytes() as f64 / fs.backend_bw)
+        .max(plan.network_bytes() as f64 / net.global_bw);
+    EventWriteResult {
+        makespan: makespan.max(floor),
+        first_done: if first_done == f64::MAX {
+            0.0
+        } else {
+            first_done
+        },
+        bytes: plan.storage_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{mira, theta};
+    use crate::write_sim::simulate_spio_write;
+    use spio_core::plan::plan_write;
+    use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
+
+    fn uniform_plan(procs: usize, factor: (usize, usize, usize)) -> WritePlan {
+        let d = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+        plan_write(
+            &d,
+            PartitionFactor::new(factor.0, factor.1, factor.2),
+            &vec![32_768u64; procs],
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn server_pool_fifo_semantics() {
+        let mut p = ServerPool::new(2);
+        // Two jobs at t=0 run in parallel; a third queues.
+        assert_eq!(p.serve_earliest(0.0, 1.0), 1.0);
+        assert_eq!(p.serve_earliest(0.0, 1.0), 1.0);
+        assert_eq!(p.serve_earliest(0.0, 1.0), 2.0);
+        // Late arrival starts at its arrival time.
+        assert_eq!(p.serve_earliest(10.0, 0.5), 10.5);
+    }
+
+    #[test]
+    fn event_makespan_bounded_by_phase_model() {
+        // Overlap can only help: the event-level makespan never exceeds
+        // the bulk-synchronous phase total (compared without the metadata-
+        // file epilogue, which the event model does not include), and it is
+        // at least the largest single cost.
+        for m in [mira(), theta()] {
+            for factor in [(1, 1, 1), (2, 2, 2), (2, 4, 4)] {
+                let plan = uniform_plan(4096, factor);
+                let phase = simulate_spio_write(&plan, &m);
+                let event = simulate_spio_write_events(&plan, &m);
+                let phase_total = phase.total() - phase.meta;
+                assert!(
+                    event.makespan <= phase_total * 1.05,
+                    "{} {:?}: event {} vs phase {}",
+                    m.name,
+                    factor,
+                    event.makespan,
+                    phase_total
+                );
+                assert!(
+                    event.makespan >= phase.data_io * 0.2,
+                    "{} {:?}: event {} vs io {}",
+                    m.name,
+                    factor,
+                    event.makespan,
+                    phase.data_io
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_model_preserves_the_paper_orderings() {
+        // The headline qualitative conclusions survive the more detailed
+        // model: on Theta at scale, (1,2,2) still beats FPP-style (1,1,1).
+        let m = theta();
+        let small = simulate_spio_write_events(&uniform_plan(131_072, (1, 2, 2)), &m);
+        let fpp = simulate_spio_write_events(&uniform_plan(131_072, (1, 1, 1)), &m);
+        assert!(
+            small.throughput() > fpp.throughput(),
+            "aggregated {} vs fpp {}",
+            small.throughput(),
+            fpp.throughput()
+        );
+        // And on Mira, large factors beat FPP by a wide margin.
+        let m = mira();
+        let agg = simulate_spio_write_events(&uniform_plan(65_536, (2, 4, 4)), &m);
+        let fpp = simulate_spio_write_events(&uniform_plan(65_536, (1, 1, 1)), &m);
+        assert!(agg.throughput() > 2.0 * fpp.throughput());
+    }
+
+    #[test]
+    fn overlap_shows_up_as_spread_completions() {
+        // Partitions finish at different times (first_done < makespan)
+        // once resources are contended.
+        let plan = uniform_plan(4096, (2, 2, 2));
+        let r = simulate_spio_write_events(&plan, &mira());
+        assert!(r.first_done > 0.0);
+        assert!(r.first_done < r.makespan);
+    }
+
+    #[test]
+    fn deterministic() {
+        let plan = uniform_plan(2048, (2, 2, 2));
+        let a = simulate_spio_write_events(&plan, &theta());
+        let b = simulate_spio_write_events(&plan, &theta());
+        assert_eq!(a, b);
+    }
+}

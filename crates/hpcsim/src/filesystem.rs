@@ -1,0 +1,382 @@
+//! Parallel filesystem timing models.
+//!
+//! Two queueing abstractions cover the paper's three storage systems:
+//!
+//! * a **metadata service** with `mds_width` parallel pipelines whose
+//!   per-create service time grows with the number of concurrent creates
+//!   per pipeline — this is what makes file-per-process I/O saturate on
+//!   Mira's GPFS (Fig. 5 top) and flatten on Theta's Lustre at very high
+//!   core counts ("the file creation time … begins to dominate", §5.2);
+//! * a set of **data servers** (Lustre OSTs, or GPFS I/O nodes) with
+//!   per-server bandwidth, a fixed per-file-access overhead, and a global
+//!   backend cap.
+//!
+//! The placement policy differs per system: on the GPFS model data flows
+//! through the *writer's* dedicated I/O node (1 ION per `ranks_per_ion`
+//! ranks, so small jobs only reach a few IONs), while on Lustre and the SSD
+//! box data is placed by *file* across OSTs/stripes.
+
+use serde::{Deserialize, Serialize};
+use spio_types::Rank;
+
+/// Which placement/metadata behaviour to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsKind {
+    /// GPFS with dedicated I/O nodes (Mira): data routed by writer rank.
+    Gpfs,
+    /// Lustre with one MDS and striped OSTs (Theta): data placed by file.
+    Lustre,
+    /// Local SSD workstation: single data server, cheap metadata.
+    Ssd,
+}
+
+/// Calibrated filesystem constants for one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FsModel {
+    pub kind: FsKind,
+    /// Parallel metadata pipelines (GPFS: scales with engaged IONs; Lustre:
+    /// MDS service threads; SSD: effectively unbounded).
+    pub mds_width: usize,
+    /// Base service time of one file create, seconds.
+    pub create_base: f64,
+    /// Create-contention knee: total concurrent creates beyond this
+    /// inflate the per-create service time linearly (directory/allocation
+    /// lock contention is global).
+    pub create_contention_k0: f64,
+    /// Service time of one open/stat, seconds.
+    pub open_service: f64,
+    /// Total data servers installed (IONs or OSTs).
+    pub data_servers: usize,
+    /// Bandwidth of one data server, bytes/s.
+    pub server_bw: f64,
+    /// Fixed server-side cost per file access (allocation, seek), seconds.
+    pub per_file_data_overhead: f64,
+    /// Stripe size for by-file placement, bytes.
+    pub stripe_size: u64,
+    /// Maximum stripes (servers) a single file spans.
+    pub max_stripes: usize,
+    /// Per-process end-to-end rate (memory copies, encode/decode), bytes/s.
+    pub client_bw: f64,
+    /// Global backend cap, bytes/s.
+    pub backend_bw: f64,
+    /// Compute ranks served by one dedicated I/O node (GPFS only).
+    pub ranks_per_ion: usize,
+    /// Bandwidth efficiency of interleaved shared-file writes (lock and
+    /// false-sharing penalty), in (0, 1].
+    pub shared_file_eff: f64,
+}
+
+/// Outcome of a bulk-synchronous write phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteIoOutcome {
+    /// Time for all file creates to drain through the metadata service.
+    pub create_time: f64,
+    /// Time for all data to drain through the data servers.
+    pub data_time: f64,
+}
+
+impl WriteIoOutcome {
+    pub fn total(&self) -> f64 {
+        self.create_time + self.data_time
+    }
+}
+
+impl FsModel {
+    /// Data servers reachable by a job of `nprocs` ranks.
+    pub fn engaged_servers(&self, nprocs: usize) -> usize {
+        match self.kind {
+            FsKind::Gpfs => (nprocs.div_ceil(self.ranks_per_ion)).min(self.data_servers),
+            FsKind::Lustre | FsKind::Ssd => self.data_servers,
+        }
+    }
+
+    /// Metadata pipelines available to a job of `nprocs` ranks (on GPFS the
+    /// metadata path runs through the engaged IONs).
+    fn engaged_mds(&self, nprocs: usize) -> usize {
+        match self.kind {
+            FsKind::Gpfs => self.engaged_servers(nprocs).max(1),
+            FsKind::Lustre => self.mds_width,
+            FsKind::Ssd => self.mds_width,
+        }
+    }
+
+    /// Time for `n_creates` concurrent file creates issued by a job of
+    /// `nprocs` ranks. `weight` scales the per-create cost (empty files are
+    /// cheaper than data files — used by the Fig. 11 non-adaptive baseline).
+    ///
+    /// The per-create service time grows with the *total* number of
+    /// concurrent creates (directory and allocation-map locks are global,
+    /// not per-pipeline), which is what bends file-per-process throughput
+    /// down at extreme scale on both GPFS and Lustre.
+    pub fn create_phase(&self, nprocs: usize, n_creates: usize, weight: f64) -> f64 {
+        if n_creates == 0 {
+            return 0.0;
+        }
+        let width = self.engaged_mds(nprocs) as f64;
+        let service = self.create_base * (1.0 + n_creates as f64 / self.create_contention_k0);
+        (n_creates as f64 / width) * service * weight
+    }
+
+    /// Time for a bulk-synchronous independent-file write phase:
+    /// `writes[i] = (writer_rank, bytes)`, one file per entry.
+    pub fn write_phase(&self, nprocs: usize, writes: &[(Rank, u64)]) -> WriteIoOutcome {
+        let create_time = self.create_phase(nprocs, writes.len(), 1.0);
+        let servers = self.engaged_servers(nprocs).max(1);
+        let mut busy = vec![0.0f64; servers];
+        let mut client_max = 0.0f64;
+        for (i, &(rank, bytes)) in writes.iter().enumerate() {
+            client_max = client_max.max(bytes as f64 / self.client_bw);
+            match self.kind {
+                FsKind::Gpfs => {
+                    // Data flows through the writer's ION.
+                    let ion = (rank / self.ranks_per_ion) % servers;
+                    busy[ion] += bytes as f64 / self.server_bw + self.per_file_data_overhead;
+                }
+                FsKind::Lustre | FsKind::Ssd => {
+                    // Striped by file: split across up to max_stripes OSTs.
+                    let nstripes = ((bytes / self.stripe_size.max(1)) as usize + 1)
+                        .min(self.max_stripes)
+                        .min(servers)
+                        .max(1);
+                    let per = bytes as f64 / nstripes as f64;
+                    for s in 0..nstripes {
+                        let ost = (i + s) % servers;
+                        busy[ost] += per / self.server_bw + self.per_file_data_overhead;
+                    }
+                }
+            }
+        }
+        let total_bytes: u64 = writes.iter().map(|&(_, b)| b).sum();
+        let server_max = busy.iter().cloned().fold(0.0, f64::max);
+        let data_time = server_max
+            .max(client_max)
+            .max(total_bytes as f64 / self.backend_bw);
+        WriteIoOutcome {
+            create_time,
+            data_time,
+        }
+    }
+
+    /// Time for a collective shared-file write: `nwriters` aggregators
+    /// writing interleaved stripes of one file of `total_bytes`. The file
+    /// spans at most `max_stripes` servers; interleaved access pays the
+    /// shared-file efficiency penalty, which worsens as more writers
+    /// contend for extent locks.
+    pub fn shared_write_phase(&self, nprocs: usize, total_bytes: u64, nwriters: usize) -> WriteIoOutcome {
+        let create_time = self.create_phase(nprocs, 1, 1.0);
+        let servers = self
+            .engaged_servers(nprocs)
+            .min(self.max_stripes)
+            .max(1);
+        // Lock contention grows with writers per stripe.
+        let writers_per_server = (nwriters as f64 / servers as f64).max(1.0);
+        let eff = self.shared_file_eff / (1.0 + writers_per_server.log2().max(0.0) * 0.25);
+        let bw = (servers as f64 * self.server_bw * eff).min(self.backend_bw);
+        let data_time = (total_bytes as f64 / bw)
+            .max(total_bytes as f64 / nwriters as f64 / self.client_bw);
+        WriteIoOutcome {
+            create_time,
+            data_time,
+        }
+    }
+}
+
+/// Event-driven server state for read simulation: per-pipeline and
+/// per-server next-available times.
+#[derive(Debug, Clone)]
+pub struct ReadServers {
+    mds: Vec<f64>,
+    data: Vec<f64>,
+}
+
+impl ReadServers {
+    pub fn new(fs: &FsModel, nprocs: usize) -> Self {
+        ReadServers {
+            mds: vec![0.0; fs.engaged_mds(nprocs).max(1)],
+            data: vec![0.0; fs.engaged_servers(nprocs).max(1)],
+        }
+    }
+
+    /// One file read by one reader: open at the metadata service, then
+    /// transfer through a data server, bounded by the client rate.
+    /// `now` is the reader's clock; returns the completion time.
+    pub fn file_read(&mut self, fs: &FsModel, now: f64, file_id: usize, bytes: u64) -> f64 {
+        // Open: pick the least-loaded metadata pipeline.
+        let m = least_loaded(&self.mds);
+        let open_start = now.max(self.mds[m]);
+        let open_end = open_start + fs.open_service;
+        self.mds[m] = open_end;
+        // Transfer: data server by file placement.
+        let d = file_id % self.data.len();
+        let service = bytes as f64 / fs.server_bw + fs.per_file_data_overhead;
+        let xfer_start = open_end.max(self.data[d]);
+        let server_end = xfer_start + service;
+        self.data[d] = server_end;
+        // The client cannot consume faster than its own rate.
+        server_end.max(open_end + bytes as f64 / fs.client_bw)
+    }
+}
+
+fn least_loaded(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &t) in v.iter().enumerate() {
+        if t < v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lustre() -> FsModel {
+        FsModel {
+            kind: FsKind::Lustre,
+            mds_width: 4,
+            create_base: 1e-4,
+            create_contention_k0: 512.0,
+            open_service: 1e-3,
+            data_servers: 48,
+            server_bw: 5.0e9,
+            per_file_data_overhead: 1e-3,
+            stripe_size: 8 << 20,
+            max_stripes: 48,
+            client_bw: 0.5e9,
+            backend_bw: 240.0e9,
+            ranks_per_ion: 1,
+            shared_file_eff: 0.4,
+        }
+    }
+
+    fn gpfs() -> FsModel {
+        FsModel {
+            kind: FsKind::Gpfs,
+            mds_width: 1,
+            create_base: 3e-4,
+            create_contention_k0: 64.0,
+            open_service: 1e-3,
+            data_servers: 384,
+            server_bw: 4.0e9,
+            per_file_data_overhead: 5e-3,
+            stripe_size: 8 << 20,
+            max_stripes: 1,
+            client_bw: 1.0e9,
+            backend_bw: 240.0e9,
+            ranks_per_ion: 2048,
+            shared_file_eff: 0.4,
+        }
+    }
+
+    #[test]
+    fn gpfs_small_jobs_engage_few_ions() {
+        let fs = gpfs();
+        assert_eq!(fs.engaged_servers(512), 1);
+        assert_eq!(fs.engaged_servers(4096), 2);
+        assert_eq!(fs.engaged_servers(262_144), 128);
+        assert_eq!(fs.engaged_servers(10_000_000), 384, "capped at installed");
+    }
+
+    #[test]
+    fn lustre_always_sees_all_osts() {
+        let fs = lustre();
+        assert_eq!(fs.engaged_servers(64), 48);
+        assert_eq!(fs.engaged_servers(262_144), 48);
+    }
+
+    #[test]
+    fn create_phase_superlinear_in_concurrency() {
+        let fs = lustre();
+        let t1k = fs.create_phase(1024, 1024, 1.0);
+        let t64k = fs.create_phase(65_536, 65_536, 1.0);
+        // 64× the creates must cost more than 64× the time (contention).
+        assert!(t64k > 64.0 * t1k);
+        assert_eq!(fs.create_phase(1024, 0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn write_phase_respects_backend_cap() {
+        let fs = lustre();
+        // 1024 files × 1 GB = 1 TB across 48 × 5 GB/s = capped at 240 GB/s.
+        let writes: Vec<(Rank, u64)> = (0..1024).map(|r| (r, 1 << 30)).collect();
+        let out = fs.write_phase(1024, &writes);
+        let total = 1024.0 * (1u64 << 30) as f64;
+        assert!(out.data_time >= total / 240.0e9 * 0.999);
+    }
+
+    #[test]
+    fn gpfs_routes_by_writer_rank() {
+        let fs = gpfs();
+        // Eight 1 GiB writers on one ION serialize its 4 GB/s link (~2 s);
+        // spread across eight IONs they are client-bound (~0.77 s).
+        let same: Vec<(Rank, u64)> = (0..8).map(|r| (r, 1u64 << 30)).collect();
+        let diff: Vec<(Rank, u64)> = (0..8).map(|r| (r * 2048, 1u64 << 30)).collect();
+        let same = fs.write_phase(32_768, &same);
+        let diff = fs.write_phase(32_768, &diff);
+        assert!(
+            same.data_time > 1.5 * diff.data_time,
+            "same-ION {} vs spread {}",
+            same.data_time,
+            diff.data_time
+        );
+    }
+
+    #[test]
+    fn big_lustre_files_stripe_wider_than_small() {
+        let fs = lustre();
+        let small = fs.write_phase(48, &[(0, 8 << 20)]);
+        let big = fs.write_phase(48, &[(0, 48 * (8 << 20))]);
+        // 48× the data but striped over ~7 servers: much less than 48× slower.
+        assert!(big.data_time < small.data_time * 48.0);
+    }
+
+    #[test]
+    fn shared_write_pays_contention() {
+        let fs = lustre();
+        // With enough writers that clients are not the bottleneck, adding
+        // more writers per stripe costs lock contention.
+        let few = fs.shared_write_phase(4096, 1 << 34, 256);
+        let many = fs.shared_write_phase(4096, 1 << 34, 4096);
+        assert!(
+            many.data_time > few.data_time,
+            "many {} vs few {}",
+            many.data_time,
+            few.data_time
+        );
+        // And both are worse than ideally-striped independent writes by
+        // enough clients to saturate the OSTs.
+        let writes: Vec<(Rank, u64)> = (0..512).map(|r| (r, (1u64 << 34) / 512)).collect();
+        let independent = fs.write_phase(4096, &writes);
+        assert!(few.data_time > independent.data_time);
+    }
+
+    #[test]
+    fn read_chain_serializes_on_one_server() {
+        let fs = lustre();
+        // 24 concurrent readers hammering one OST queue up behind each
+        // other; spread across OSTs they are client-bound and finish
+        // together sooner.
+        let mut same = ReadServers::new(&fs, 64);
+        let worst_same = (0..24)
+            .map(|_| same.file_read(&fs, 0.0, 0, 100 << 20))
+            .fold(0.0, f64::max);
+        let mut spread = ReadServers::new(&fs, 64);
+        let worst_spread = (0..24)
+            .map(|i| spread.file_read(&fs, 0.0, i, 100 << 20))
+            .fold(0.0, f64::max);
+        assert!(
+            worst_same > worst_spread,
+            "same-OST {worst_same} vs spread {worst_spread}"
+        );
+    }
+
+    #[test]
+    fn read_bounded_by_client_rate() {
+        let fs = lustre();
+        let mut servers = ReadServers::new(&fs, 1);
+        // 1 GB: server side is 0.2 s + overhead, client side is 2 s.
+        let t = servers.file_read(&fs, 0.0, 0, 1 << 30);
+        assert!(t >= (1u64 << 30) as f64 / fs.client_bw);
+    }
+}

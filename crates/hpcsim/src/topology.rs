@@ -1,0 +1,187 @@
+//! Network topologies: hop distances on Mira's 5-D torus and Theta's
+//! Dragonfly.
+//!
+//! §3.2 chooses aggregators "uniformly from the rank space" because
+//! "spatially neighboring processes may not be close in the network
+//! topology". These models make that statement quantitative: they map
+//! ranks to topology coordinates and count hops, so the placement study
+//! can charge longer routes more latency.
+
+use serde::{Deserialize, Serialize};
+use spio_types::Rank;
+
+/// A machine interconnect with a per-pair hop count.
+pub trait Topology {
+    /// Network hops between the *nodes* hosting two ranks (0 when they
+    /// share a node).
+    fn hops(&self, a: Rank, b: Rank) -> u32;
+
+    /// Worst-case hop count (network diameter).
+    fn diameter(&self) -> u32;
+}
+
+/// A 5-dimensional torus (IBM Blue Gene/Q). Nodes are numbered in
+/// row-major order over `dims`; each hop moves ±1 along one dimension with
+/// wraparound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Torus5D {
+    pub dims: [usize; 5],
+    pub ranks_per_node: usize,
+}
+
+impl Torus5D {
+    /// Mira-like: 49,152 nodes as a 4×4×4×48×16 torus (a realistic BG/Q
+    /// partitioning), 16 ranks per node.
+    pub fn mira() -> Self {
+        Torus5D {
+            dims: [4, 4, 4, 48, 16],
+            ranks_per_node: 16,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn coords(&self, node: usize) -> [usize; 5] {
+        let mut c = [0; 5];
+        let mut rest = node % self.nodes();
+        for (i, &d) in self.dims.iter().enumerate() {
+            c[i] = rest % d;
+            rest /= d;
+        }
+        c
+    }
+}
+
+impl Topology for Torus5D {
+    fn hops(&self, a: Rank, b: Rank) -> u32 {
+        let na = a / self.ranks_per_node;
+        let nb = b / self.ranks_per_node;
+        if na == nb {
+            return 0;
+        }
+        let ca = self.coords(na);
+        let cb = self.coords(nb);
+        let mut h = 0u32;
+        for i in 0..5 {
+            let d = self.dims[i];
+            let diff = ca[i].abs_diff(cb[i]);
+            h += diff.min(d - diff) as u32; // torus wraparound
+        }
+        h
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| (d / 2) as u32).sum()
+    }
+}
+
+/// A Dragonfly (Cray Aries): nodes grouped into all-to-all-connected
+/// groups; minimal routes are 1 hop within a group, and up to
+/// local-global-local (3 hops) between groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dragonfly {
+    /// Nodes per group.
+    pub group_size: usize,
+    pub ranks_per_node: usize,
+}
+
+impl Dragonfly {
+    /// Theta-like: 96 nodes per group (24 Aries switches × 4 nodes),
+    /// 64 ranks per node.
+    pub fn theta() -> Self {
+        Dragonfly {
+            group_size: 96,
+            ranks_per_node: 64,
+        }
+    }
+}
+
+impl Topology for Dragonfly {
+    fn hops(&self, a: Rank, b: Rank) -> u32 {
+        let na = a / self.ranks_per_node;
+        let nb = b / self.ranks_per_node;
+        if na == nb {
+            return 0;
+        }
+        if na / self.group_size == nb / self.group_size {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        3
+    }
+}
+
+/// Mean hops from a set of sender ranks to one aggregator — the quantity
+/// §3.2's placement decision trades off.
+pub fn mean_hops<T: Topology>(topo: &T, senders: &[Rank], aggregator: Rank) -> f64 {
+    if senders.is_empty() {
+        return 0.0;
+    }
+    senders
+        .iter()
+        .map(|&s| topo.hops(s, aggregator) as f64)
+        .sum::<f64>()
+        / senders.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_basic_properties() {
+        let t = Torus5D::mira();
+        assert_eq!(t.nodes(), 49_152);
+        // Same node ⇒ 0 hops; neighbours ⇒ 1.
+        assert_eq!(t.hops(0, 15), 0);
+        assert_eq!(t.hops(0, 16), 1);
+        // Symmetry.
+        for (a, b) in [(0, 100_000), (12_345, 678_901), (5, 5)] {
+            assert_eq!(t.hops(a, b), t.hops(b, a));
+        }
+        // Wraparound: the far end of a dimension is 1 hop away.
+        // Node with coord (3,0,0,0,0) is linear index 3.
+        assert_eq!(t.hops(0, 3 * 16), 1, "torus wraps 0↔3 in a dim of 4");
+        // Bounded by the diameter.
+        assert!(t.hops(0, 49_151 * 16) <= t.diameter());
+        assert_eq!(t.diameter(), 2 + 2 + 2 + 24 + 8);
+    }
+
+    #[test]
+    fn dragonfly_basic_properties() {
+        let d = Dragonfly::theta();
+        assert_eq!(d.hops(0, 1), 0, "same node");
+        assert_eq!(d.hops(0, 64), 1, "same group");
+        assert_eq!(d.hops(0, 96 * 64), 3, "different groups");
+        assert_eq!(d.hops(96 * 64, 0), 3, "symmetric");
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    fn uniform_placement_has_longer_routes_but_even_spread() {
+        // §3.2's trade-off quantified: a partition-local aggregator is
+        // close to its senders; a uniform-rank-space aggregator is farther
+        // away on average.
+        let t = Torus5D::mira();
+        // Group of 8 consecutive nodes' worth of senders (ranks 0..128).
+        let senders: Vec<Rank> = (0..128).collect();
+        let local_agg = 0;
+        let distant_agg = 24_000 * 16; // mid-machine
+        let near = mean_hops(&t, &senders, local_agg);
+        let far = mean_hops(&t, &senders, distant_agg);
+        assert!(near < 2.0, "local placement keeps routes short: {near}");
+        assert!(far > near + 2.0, "uniform placement pays hops: {far}");
+    }
+
+    #[test]
+    fn mean_hops_empty_is_zero() {
+        let d = Dragonfly::theta();
+        assert_eq!(mean_hops(&d, &[], 0), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Write-phase simulation: replay a [`WritePlan`] (or a baseline pattern)
+//! against a machine model, producing the per-phase breakdown of Fig. 6 and
+//! the throughput points of Fig. 5.
+
+use crate::machine::MachineModel;
+use spio_core::plan::WritePlan;
+use std::collections::HashMap;
+
+/// Per-phase timing of one simulated write timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WriteBreakdown {
+    /// Grid setup (including the §6 extent/count all-gather if adaptive).
+    pub setup: f64,
+    /// Metadata + particle exchange over the network.
+    pub aggregation: f64,
+    /// LOD reshuffle (serial per aggregator; slowest aggregator bounds it).
+    pub shuffle: f64,
+    /// File creates at the metadata service.
+    pub create: f64,
+    /// Data transfer to storage.
+    pub data_io: f64,
+    /// Spatial metadata gather + write.
+    pub meta: f64,
+    /// Payload bytes written (for throughput).
+    pub bytes: u64,
+}
+
+impl WriteBreakdown {
+    /// End-to-end time of the timestep.
+    pub fn total(&self) -> f64 {
+        self.setup + self.aggregation + self.shuffle + self.create + self.data_io + self.meta
+    }
+
+    /// Aggregate write throughput in bytes/s.
+    pub fn throughput(&self) -> f64 {
+        if self.total() == 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.total()
+    }
+
+    /// The paper's Fig. 6 split: fraction of (aggregation + file I/O) time
+    /// spent aggregating.
+    pub fn aggregation_fraction(&self) -> f64 {
+        let io = self.create + self.data_io;
+        let denom = self.aggregation + io;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.aggregation / denom
+    }
+}
+
+/// Simulate the spatially-aware writer executing `plan` on `machine`,
+/// additionally serializing aggregators that share a compute node on that
+/// node's NIC. The default [`simulate_spio_write`] ignores node sharing
+/// (aggregators are normally placed at node granularity or wider); this
+/// variant exposes the §3.2 placement trade-off — partition-local
+/// placement packs several aggregators per node and pays for it here.
+pub fn simulate_spio_write_node_contended(
+    plan: &WritePlan,
+    machine: &MachineModel,
+) -> WriteBreakdown {
+    let mut b = simulate_spio_write(plan, machine);
+    // Recompute the aggregation phase with per-node serialization.
+    let net = &machine.net;
+    let mut per_agg: HashMap<usize, Vec<u64>> = HashMap::new();
+    for m in &plan.data_messages {
+        if m.src != m.dst {
+            per_agg.entry(m.dst).or_default().push(m.bytes);
+        }
+    }
+    let mut per_node: HashMap<usize, f64> = HashMap::new();
+    for (agg, bytes) in &per_agg {
+        let node = agg / machine.ranks_per_node;
+        *per_node.entry(node).or_default() += net.group_gather_time_var(bytes);
+    }
+    let node_times: Vec<f64> = per_node.into_values().collect();
+    b.aggregation = net.concurrent_groups_time(&node_times, plan.network_bytes());
+    b
+}
+
+/// Simulate the spatially-aware writer executing `plan` on `machine`.
+pub fn simulate_spio_write(plan: &WritePlan, machine: &MachineModel) -> WriteBreakdown {
+    let net = &machine.net;
+    let fs = &machine.fs;
+    let n = plan.nprocs;
+
+    // Setup: adaptive mode pays the extent/count all-gather.
+    let setup = if plan.setup_allgather {
+        net.allgather_time(n, 8)
+    } else {
+        0.0
+    };
+
+    // Aggregation: group messages by destination aggregator. Self-sends are
+    // local memcpys and cost no network time.
+    let mut per_agg: HashMap<usize, Vec<u64>> = HashMap::new();
+    for m in &plan.data_messages {
+        if m.src != m.dst {
+            per_agg.entry(m.dst).or_default().push(m.bytes);
+        }
+    }
+    let mut group_times: Vec<f64> = per_agg
+        .values()
+        .map(|bytes| net.group_gather_time_var(bytes))
+        .collect();
+    if !plan.meta_messages.is_empty() {
+        // Metadata exchange overlaps poorly (it gates buffer allocation);
+        // charge the slowest aggregator's tiny-message drain.
+        let mut meta_per_agg: HashMap<usize, usize> = HashMap::new();
+        for m in &plan.meta_messages {
+            if m.src != m.dst {
+                *meta_per_agg.entry(m.dst).or_default() += 1;
+            }
+        }
+        let meta_time = meta_per_agg
+            .values()
+            .map(|&g| net.meta_exchange_time(g))
+            .fold(0.0, f64::max);
+        group_times.push(meta_time);
+    }
+    let aggregation = net.concurrent_groups_time(&group_times, plan.network_bytes());
+
+    // Shuffle: aggregators work in parallel; the largest buffer bounds the
+    // phase (the reordering is serial per aggregator, §3.4).
+    let shuffle = plan
+        .shuffle_particles
+        .iter()
+        .map(|&p| p as f64 * machine.shuffle_per_particle)
+        .fold(0.0, f64::max);
+
+    // File I/O.
+    let writes: Vec<(usize, u64)> = plan
+        .file_writes
+        .iter()
+        .map(|w| (w.rank, w.bytes))
+        .collect();
+    let io = fs.write_phase(n, &writes);
+
+    // Spatial metadata: an all-gather of per-rank entries plus one small
+    // file written by rank 0.
+    let meta = net.allgather_time(n, plan.meta_gather_bytes) + fs.create_base + fs.open_service;
+
+    WriteBreakdown {
+        setup,
+        aggregation,
+        shuffle,
+        create: io.create_time,
+        data_io: io.data_time,
+        meta,
+        bytes: plan.storage_bytes(),
+    }
+}
+
+/// Simulate an IOR-style file-per-process write: every rank creates and
+/// writes its own file; no aggregation, no metadata file.
+pub fn simulate_fpp_write(nprocs: usize, bytes_per_rank: u64, machine: &MachineModel) -> WriteBreakdown {
+    let writes: Vec<(usize, u64)> = (0..nprocs).map(|r| (r, bytes_per_rank)).collect();
+    let io = machine.fs.write_phase(nprocs, &writes);
+    WriteBreakdown {
+        create: io.create_time,
+        data_io: io.data_time,
+        bytes: nprocs as u64 * bytes_per_rank,
+        ..Default::default()
+    }
+}
+
+/// Simulate IOR-style collective shared-file I/O: ROMIO-like two-phase with
+/// rank-order (spatially unaware) aggregators writing interleaved stripes
+/// of one shared file.
+pub fn simulate_shared_file_write(
+    nprocs: usize,
+    bytes_per_rank: u64,
+    machine: &MachineModel,
+) -> WriteBreakdown {
+    let net = &machine.net;
+    let fs = &machine.fs;
+    // ROMIO-style aggregator count: a few per engaged data server.
+    let naggs = (fs.engaged_servers(nprocs) * 8).clamp(1, nprocs);
+    let group = nprocs.div_ceil(naggs);
+    let agg_time = net.group_gather_time(group, bytes_per_rank);
+    let total = nprocs as u64 * bytes_per_rank;
+    let aggregation = net.concurrent_groups_time(
+        &vec![agg_time; naggs.min(64)],
+        total.saturating_sub(total / naggs as u64),
+    );
+    let io = fs.shared_write_phase(nprocs, total, naggs);
+    WriteBreakdown {
+        aggregation,
+        create: io.create_time,
+        data_io: io.data_time,
+        bytes: total,
+        ..Default::default()
+    }
+}
+
+/// Simulate Parallel HDF5 (h5perf-style) collective writes to one shared
+/// file: the IOR-collective pattern plus HDF5's collective metadata
+/// (dataset creation, space allocation) — modeled as extra collective
+/// rounds and a lower effective efficiency.
+pub fn simulate_hdf5_shared_write(
+    nprocs: usize,
+    bytes_per_rank: u64,
+    machine: &MachineModel,
+) -> WriteBreakdown {
+    let mut b = simulate_shared_file_write(nprocs, bytes_per_rank, machine);
+    // Collective open + metadata rounds: every rank participates in a few
+    // small all-gathers and the root performs serialized header updates.
+    let meta_rounds = 4.0;
+    b.meta += meta_rounds * machine.net.allgather_time(nprocs, 128)
+        + 16.0 * machine.fs.open_service;
+    // HDF5's chunked layout and datatype conversion cost on the data path.
+    b.data_io *= 1.25;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{mira, theta};
+    use spio_core::plan::plan_write;
+    use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
+
+    fn uniform_plan(nprocs: usize, per_rank: u64, factor: (usize, usize, usize)) -> WritePlan {
+        let d = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), nprocs);
+        let counts = vec![per_rank; nprocs];
+        plan_write(
+            &d,
+            PartitionFactor::new(factor.0, factor.1, factor.2),
+            &counts,
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn breakdown_sums_and_throughput() {
+        let plan = uniform_plan(64, 32_768, (2, 2, 2));
+        let b = simulate_spio_write(&plan, &theta());
+        assert!(b.total() > 0.0);
+        assert!(b.throughput() > 0.0);
+        assert!(b.aggregation > 0.0, "2x2x2 moves data over the network");
+        assert!(b.bytes > 64 * 32_768 * 124);
+    }
+
+    #[test]
+    fn fpp_factor_has_no_aggregation() {
+        let plan = uniform_plan(64, 32_768, (1, 1, 1));
+        let b = simulate_spio_write(&plan, &theta());
+        assert_eq!(b.aggregation, 0.0, "self-sends are free");
+    }
+
+    #[test]
+    fn aggregation_fraction_larger_on_theta_than_mira() {
+        // The Fig. 6 contrast: same configuration, same workload — Theta
+        // spends relatively more time aggregating.
+        let plan = uniform_plan(4096, 32_768, (2, 2, 2));
+        let m = simulate_spio_write(&plan, &mira());
+        let t = simulate_spio_write(&plan, &theta());
+        assert!(
+            t.aggregation_fraction() > m.aggregation_fraction(),
+            "mira {:.3} vs theta {:.3}",
+            m.aggregation_fraction(),
+            t.aggregation_fraction()
+        );
+    }
+
+    #[test]
+    fn aggregation_fraction_grows_with_partition_factor() {
+        // Fig. 6: more aggregation partitions per file ⇒ more communication.
+        let small = simulate_spio_write(&uniform_plan(4096, 32_768, (1, 1, 2)), &theta());
+        let large = simulate_spio_write(&uniform_plan(4096, 32_768, (2, 4, 4)), &theta());
+        assert!(large.aggregation_fraction() > small.aggregation_fraction());
+    }
+
+    #[test]
+    fn ior_baselines_produce_sane_times() {
+        let fpp = simulate_fpp_write(4096, 4 << 20, &theta());
+        let shared = simulate_shared_file_write(4096, 4 << 20, &theta());
+        let hdf5 = simulate_hdf5_shared_write(4096, 4 << 20, &theta());
+        assert!(fpp.total() > 0.0);
+        assert!(shared.total() > fpp.total(), "shared file is slower on theta");
+        assert!(hdf5.total() > shared.total(), "hdf5 adds overhead");
+    }
+
+    #[test]
+    fn adaptive_plan_charges_setup_allgather() {
+        let d = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), 64);
+        let mut counts = vec![0u64; 64];
+        for c in counts.iter_mut().take(32) {
+            *c = 1000;
+        }
+        let plan = plan_write(&d, PartitionFactor::new(2, 2, 2), &counts, true).unwrap();
+        let b = simulate_spio_write(&plan, &theta());
+        assert!(b.setup > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The `spio` command-line tool: inspect, validate, query and convert
+//! spatially-aware particle datasets.
+//!
+//! ```text
+//! spio inspect  <dir>
+//! spio validate <dir>
+//! spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]
+//! spio lod      <dir> [readers]
+//! spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxXPyXPz> \
+//!                  <x0> <y0> <z0> <x1> <y1> <z1>
+//! ```
+
+use spio_tools::open_dir;
+use spio_types::{Aabb3, PartitionFactor};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  spio inspect  <dir>\n  spio validate <dir>\n  \
+         spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]\n  \
+         spio lod      <dir> [readers]\n  \
+         spio series   <dir>\n  \
+         spio render   <dir> <out.ppm>\n  \
+         spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxxPyxPz> <x0> <y0> <z0> <x1> <y1> <z1>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_f64s(args: &[String]) -> Option<Vec<f64>> {
+    args.iter().map(|a| a.parse().ok()).collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match (cmd.as_str(), &args[1..]) {
+        ("inspect", [dir]) => spio_tools::inspect(&open_dir(dir)).map(|t| print!("{t}")),
+        ("validate", [dir]) => spio_tools::validate(&open_dir(dir)).map(|report| {
+            println!(
+                "checked {} files / {} particles",
+                report.files_checked, report.particles_checked
+            );
+            if report.is_ok() {
+                println!("dataset OK");
+            } else {
+                for p in &report.problems {
+                    println!("PROBLEM: {p}");
+                }
+                std::process::exit(1);
+            }
+        }),
+        ("query", rest) if rest.len() == 7 || rest.len() == 10 => {
+            let dir = &rest[0];
+            match parse_f64s(&rest[1..7]) {
+                Some(c) => {
+                    let density = if rest.len() == 10 && rest[7] == "--density" {
+                        match parse_f64s(&rest[8..10]) {
+                            Some(d) => Some((d[0], d[1])),
+                            None => return usage(),
+                        }
+                    } else if rest.len() == 10 {
+                        return usage();
+                    } else {
+                        None
+                    };
+                    let q = Aabb3::new([c[0], c[1], c[2]], [c[3], c[4], c[5]]);
+                    spio_tools::query(&open_dir(dir), &q, density).map(|t| print!("{t}"))
+                }
+                None => return usage(),
+            }
+        }
+        ("series", [dir]) => spio_tools::series_info(&open_dir(dir)).map(|t| print!("{t}")),
+        ("render", [dir, out]) => spio_tools::render_ppm(&open_dir(dir), 640, 640)
+            .and_then(|img| std::fs::write(out, img).map_err(Into::into))
+            .map(|()| println!("wrote {out}")),
+        ("lod", [dir]) => spio_tools::lod_stats(&open_dir(dir), 1).map(|t| print!("{t}")),
+        ("lod", [dir, readers]) => match readers.parse() {
+            Ok(n) => spio_tools::lod_stats(&open_dir(dir), n).map(|t| print!("{t}")),
+            Err(_) => return usage(),
+        },
+        ("convert-fpp", rest) if rest.len() == 10 => {
+            let (src, dst) = (&rest[0], &rest[2]);
+            let Ok(nwriters) = rest[1].parse::<usize>() else {
+                return usage();
+            };
+            let Ok(factor) = PartitionFactor::parse(&rest[3]) else {
+                return usage();
+            };
+            let Some(c) = parse_f64s(&rest[4..10]) else {
+                return usage();
+            };
+            let domain = Aabb3::new([c[0], c[1], c[2]], [c[3], c[4], c[5]]);
+            spio_tools::convert_fpp(&open_dir(src), nwriters, &open_dir(dst), factor, domain)
+                .map(|t| print!("{t}"))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

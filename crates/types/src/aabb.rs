@@ -1,0 +1,257 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Boxes use the half-open convention `[lo, hi)`: a particle sitting exactly
+//! on a shared face belongs to exactly one box, which is what makes the
+//! aggregation partitions of §3.1 disjoint and the spatial metadata file
+//! (§3.5) unambiguous.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box in 3-D, half-open: contains `p` iff `lo <= p < hi`
+/// per axis.
+///
+/// ```
+/// use spio_types::Aabb3;
+/// let b = Aabb3::new([0.0; 3], [1.0; 3]);
+/// assert!(b.contains([0.0, 0.5, 0.999]));
+/// assert!(!b.contains([1.0, 0.5, 0.5])); // hi face is exclusive
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb3 {
+    pub lo: [f64; 3],
+    pub hi: [f64; 3],
+}
+
+impl Aabb3 {
+    /// Construct from corners. `lo` must be componentwise `<= hi`.
+    pub fn new(lo: [f64; 3], hi: [f64; 3]) -> Self {
+        debug_assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h),
+            "inverted box: {lo:?}..{hi:?}"
+        );
+        Aabb3 { lo, hi }
+    }
+
+    /// The empty box (useful as a fold identity for [`Aabb3::union`]).
+    pub fn empty() -> Self {
+        Aabb3 {
+            lo: [f64::INFINITY; 3],
+            hi: [f64::NEG_INFINITY; 3],
+        }
+    }
+
+    /// True if no point is contained (any `lo >= hi` axis).
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l >= h)
+    }
+
+    /// Half-open containment test.
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        (0..3).all(|a| self.lo[a] <= p[a] && p[a] < self.hi[a])
+    }
+
+    /// True if the two boxes share interior volume (half-open overlap).
+    pub fn intersects(&self, other: &Aabb3) -> bool {
+        (0..3).all(|a| self.lo[a] < other.hi[a] && other.lo[a] < self.hi[a])
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Aabb3) -> Aabb3 {
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].min(other.lo[a]);
+            hi[a] = self.hi[a].max(other.hi[a]);
+        }
+        Aabb3 { lo, hi }
+    }
+
+    /// Grow to include a point (treats the point as an infinitesimal box, so
+    /// the result's `hi` equals the point; callers padding for half-open
+    /// queries should expand afterwards).
+    pub fn expand_to(&mut self, p: [f64; 3]) {
+        for a in 0..3 {
+            self.lo[a] = self.lo[a].min(p[a]);
+            self.hi[a] = self.hi[a].max(p[a]);
+        }
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersection(&self, other: &Aabb3) -> Option<Aabb3> {
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].max(other.lo[a]);
+            hi[a] = self.hi[a].min(other.hi[a]);
+            if lo[a] >= hi[a] {
+                return None;
+            }
+        }
+        Some(Aabb3 { lo, hi })
+    }
+
+    /// Edge lengths.
+    pub fn extent(&self) -> [f64; 3] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        ]
+    }
+
+    /// Volume (0 for empty boxes).
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        e[0] * e[1] * e[2]
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> [f64; 3] {
+        [
+            0.5 * (self.lo[0] + self.hi[0]),
+            0.5 * (self.lo[1] + self.hi[1]),
+            0.5 * (self.lo[2] + self.hi[2]),
+        ]
+    }
+
+    /// The sub-box at integer cell `(i, j, k)` of a uniform `dims` split.
+    ///
+    /// Cell boundaries are computed as `lo + extent * (idx / n)` so that the
+    /// last cell's `hi` is exactly this box's `hi` (no floating-point gap at
+    /// the far edge).
+    pub fn cell(&self, dims: [usize; 3], idx: [usize; 3]) -> Aabb3 {
+        debug_assert!((0..3).all(|a| idx[a] < dims[a]));
+        let e = self.extent();
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a] + e[a] * (idx[a] as f64 / dims[a] as f64);
+            hi[a] = if idx[a] + 1 == dims[a] {
+                self.hi[a]
+            } else {
+                self.lo[a] + e[a] * ((idx[a] + 1) as f64 / dims[a] as f64)
+            };
+        }
+        Aabb3 { lo, hi }
+    }
+
+    /// Which cell of a uniform `dims` split of this box contains `p`, clamped
+    /// into range (so points exactly on the far boundary land in the last
+    /// cell rather than out of bounds).
+    pub fn cell_of(&self, dims: [usize; 3], p: [f64; 3]) -> [usize; 3] {
+        let e = self.extent();
+        let mut idx = [0usize; 3];
+        for a in 0..3 {
+            let t = if e[a] > 0.0 {
+                (p[a] - self.lo[a]) / e[a]
+            } else {
+                0.0
+            };
+            let i = (t * dims[a] as f64).floor();
+            idx[a] = (i.max(0.0) as usize).min(dims[a] - 1);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb3 {
+        Aabb3::new([0.0; 3], [1.0; 3])
+    }
+
+    #[test]
+    fn half_open_containment() {
+        let b = unit();
+        assert!(b.contains([0.0, 0.0, 0.0]));
+        assert!(b.contains([0.999, 0.5, 0.5]));
+        assert!(!b.contains([1.0, 0.5, 0.5]), "hi face is exclusive");
+        assert!(!b.contains([-0.001, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn adjacent_boxes_do_not_intersect() {
+        let a = Aabb3::new([0.0; 3], [1.0; 3]);
+        let b = Aabb3::new([1.0, 0.0, 0.0], [2.0, 1.0, 1.0]);
+        assert!(!a.intersects(&b), "face-sharing boxes are disjoint");
+        let c = Aabb3::new([0.9, 0.0, 0.0], [2.0, 1.0, 1.0]);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Aabb3::new([0.0; 3], [1.0; 3]);
+        let b = Aabb3::new([0.5, 0.5, 0.5], [2.0, 2.0, 2.0]);
+        let u = a.union(&b);
+        assert_eq!(u, Aabb3::new([0.0; 3], [2.0; 3]));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb3::new([0.5; 3], [1.0; 3]));
+        let far = Aabb3::new([5.0; 3], [6.0; 3]);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn empty_box_identity_for_union() {
+        let e = Aabb3::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0.0);
+        let a = unit();
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn expand_to_builds_bounds() {
+        let mut b = Aabb3::empty();
+        b.expand_to([1.0, 2.0, 3.0]);
+        b.expand_to([-1.0, 0.0, 5.0]);
+        assert_eq!(b.lo, [-1.0, 0.0, 3.0]);
+        assert_eq!(b.hi, [1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn cells_tile_the_box_exactly() {
+        let b = Aabb3::new([0.0, 0.0, 0.0], [3.0, 2.0, 1.0]);
+        let dims = [3, 2, 4];
+        let mut vol = 0.0;
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    vol += b.cell(dims, [i, j, k]).volume();
+                }
+            }
+        }
+        assert!((vol - b.volume()).abs() < 1e-12);
+        // Far corner cell reaches hi exactly.
+        let last = b.cell(dims, [2, 1, 3]);
+        assert_eq!(last.hi, b.hi);
+    }
+
+    #[test]
+    fn cell_of_is_consistent_with_cell() {
+        let b = Aabb3::new([-1.0, 0.0, 2.0], [1.0, 4.0, 3.0]);
+        let dims = [4, 2, 3];
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    let c = b.cell(dims, [i, j, k]);
+                    let idx = b.cell_of(dims, c.center());
+                    assert_eq!(idx, [i, j, k]);
+                }
+            }
+        }
+        // Point on the global hi face clamps into the last cell.
+        assert_eq!(b.cell_of(dims, [1.0, 4.0, 3.0]), [3, 1, 2]);
+    }
+
+    #[test]
+    fn volume_and_center() {
+        let b = Aabb3::new([0.0, 0.0, 0.0], [2.0, 3.0, 4.0]);
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.center(), [1.0, 1.5, 2.0]);
+    }
+}

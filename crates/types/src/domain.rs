@@ -1,0 +1,117 @@
+//! Simulation domain decomposition.
+//!
+//! The paper's write path assumes the simulation has partitioned its domain
+//! into a uniform rectilinear grid of per-process patches (§3.1); the
+//! aggregation-grid is then aligned with this decomposition so every process
+//! sends all of its particles to exactly one aggregator. Non-aligned grids
+//! are also supported (the writer falls back to binning particles per
+//! partition), so this type only has to describe where each patch sits.
+
+use crate::aabb::Aabb3;
+use crate::grid::GridDims;
+use crate::Rank;
+use serde::{Deserialize, Serialize};
+
+/// A uniform decomposition of a box-shaped simulation domain into
+/// `nx × ny × nz` equally sized patches, one per process, with ranks assigned
+/// in row-major (x fastest) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainDecomposition {
+    /// Bounds of the entire simulation domain.
+    pub bounds: Aabb3,
+    /// Patch grid dimensions; `dims.count()` equals the number of processes.
+    pub dims: GridDims,
+}
+
+impl DomainDecomposition {
+    pub fn uniform(bounds: Aabb3, dims: GridDims) -> Self {
+        DomainDecomposition { bounds, dims }
+    }
+
+    /// Decomposition for `nprocs` processes over `bounds`, using a near-cubic
+    /// process grid.
+    pub fn for_procs(bounds: Aabb3, nprocs: usize) -> Self {
+        DomainDecomposition {
+            bounds,
+            dims: GridDims::near_cubic(nprocs),
+        }
+    }
+
+    /// Number of processes / patches.
+    pub fn nprocs(&self) -> usize {
+        self.dims.count()
+    }
+
+    /// 3-D patch coordinates of `rank`.
+    pub fn patch_coords(&self, rank: Rank) -> [usize; 3] {
+        self.dims.delinearize(rank)
+    }
+
+    /// Rank owning patch `(i, j, k)`.
+    pub fn rank_of(&self, coords: [usize; 3]) -> Rank {
+        self.dims.linearize(coords)
+    }
+
+    /// Spatial bounds of `rank`'s patch (half-open, tiles the domain).
+    pub fn patch_bounds(&self, rank: Rank) -> Aabb3 {
+        self.bounds
+            .cell(self.dims.as_array(), self.patch_coords(rank))
+    }
+
+    /// Rank whose patch contains point `p` (clamped into the domain).
+    pub fn rank_containing(&self, p: [f64; 3]) -> Rank {
+        self.rank_of(self.bounds.cell_of(self.dims.as_array(), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomp() -> DomainDecomposition {
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [4.0, 2.0, 2.0]), GridDims::new(4, 2, 2))
+    }
+
+    #[test]
+    fn patches_tile_domain() {
+        let d = decomp();
+        let total: f64 = (0..d.nprocs()).map(|r| d.patch_bounds(r).volume()).sum();
+        assert!((total - d.bounds.volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_patch_point_maps_back_to_its_rank() {
+        let d = decomp();
+        for r in 0..d.nprocs() {
+            let b = d.patch_bounds(r);
+            assert_eq!(d.rank_containing(b.center()), r);
+            // lo corner is inclusive.
+            assert_eq!(d.rank_containing(b.lo), r);
+        }
+    }
+
+    #[test]
+    fn rank_patch_coords_roundtrip() {
+        let d = decomp();
+        for r in 0..d.nprocs() {
+            assert_eq!(d.rank_of(d.patch_coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn for_procs_builds_full_grid() {
+        let d = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), 64);
+        assert_eq!(d.nprocs(), 64);
+        assert_eq!(d.dims, GridDims::new(4, 4, 4));
+    }
+
+    #[test]
+    fn out_of_domain_point_clamps() {
+        let d = decomp();
+        assert_eq!(d.rank_containing([-10.0, -10.0, -10.0]), 0);
+        assert_eq!(
+            d.rank_containing([100.0, 100.0, 100.0]),
+            d.nprocs() - 1
+        );
+    }
+}

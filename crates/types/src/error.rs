@@ -1,0 +1,67 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the spio crates.
+#[derive(Debug)]
+pub enum SpioError {
+    /// Invalid configuration (partition factor, grid sizes, LOD params, …).
+    Config(String),
+    /// Underlying storage failure.
+    Io(std::io::Error),
+    /// Malformed on-disk data (bad magic, truncated file, version mismatch).
+    Format(String),
+    /// Communication-layer failure (peer exited, rank out of range, …).
+    Comm(String),
+    /// A requested entity (file, partition, level) does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for SpioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpioError::Config(m) => write!(f, "configuration error: {m}"),
+            SpioError::Io(e) => write!(f, "i/o error: {e}"),
+            SpioError::Format(m) => write!(f, "format error: {m}"),
+            SpioError::Comm(m) => write!(f, "communication error: {m}"),
+            SpioError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpioError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SpioError {
+    fn from(e: std::io::Error) -> Self {
+        SpioError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = SpioError::Config("bad factor".into());
+        assert!(e.to_string().contains("bad factor"));
+        let e = SpioError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SpioError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Gaussian-cluster workload: non-uniform density in the style of
+//! cosmology halos (paper Fig. 10a — "some spatial region of the simulation
+//! domain has a lower particle density compared to others").
+//!
+//! A fixed set of isotropic Gaussian clusters (deterministically placed from
+//! the seed) defines a density field over the domain; each rank samples its
+//! patch's share of the global particle budget by rejection against the
+//! local density. The per-rank particle counts therefore vary with space —
+//! exactly the imbalance the adaptive aggregation of §6 targets — while the
+//! global budget stays (approximately) fixed.
+
+use crate::{make_particle, rank_rng, sample_in};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spio_types::{Aabb3, DomainDecomposition, Particle, Rank};
+
+/// Parameters of a Gaussian-cluster mixture.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Cluster standard deviation as a fraction of the domain diagonal.
+    pub sigma_frac: f64,
+    /// Uniform background density floor in [0, 1] relative to the cluster
+    /// peaks (0 = particles only near clusters).
+    pub background: f64,
+    /// Global particle budget (approximate; realized per-rank by density
+    /// integration).
+    pub total_particles: u64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            clusters: 8,
+            sigma_frac: 0.05,
+            background: 0.02,
+            total_particles: 1 << 20,
+        }
+    }
+}
+
+/// A realized mixture: cluster centers plus the spec.
+#[derive(Debug, Clone)]
+pub struct ClusterField {
+    spec: ClusterSpec,
+    centers: Vec<[f64; 3]>,
+    sigma: f64,
+}
+
+impl ClusterField {
+    /// Place cluster centers deterministically inside `domain`.
+    pub fn new(spec: ClusterSpec, domain: &Aabb3, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1A5_7E25);
+        let centers = (0..spec.clusters)
+            .map(|_| sample_in(&mut rng, domain))
+            .collect();
+        let e = domain.extent();
+        let diag = (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt();
+        ClusterField {
+            sigma: spec.sigma_frac * diag,
+            spec,
+            centers,
+        }
+    }
+
+    /// Unnormalized density at `p` in [background, ~clusters].
+    pub fn density(&self, p: [f64; 3]) -> f64 {
+        let inv_2s2 = 1.0 / (2.0 * self.sigma * self.sigma);
+        let mut d = self.spec.background;
+        for c in &self.centers {
+            let dx = p[0] - c[0];
+            let dy = p[1] - c[1];
+            let dz = p[2] - c[2];
+            d += (-(dx * dx + dy * dy + dz * dz) * inv_2s2).exp();
+        }
+        d
+    }
+
+    /// Monte-Carlo estimate of the mean density over `bounds` (used to
+    /// apportion the global budget to patches). Deterministic in `seed`.
+    pub fn mean_density(&self, bounds: &Aabb3, seed: u64, samples: usize) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0DD5);
+        let sum: f64 = (0..samples)
+            .map(|_| self.density(sample_in(&mut rng, bounds)))
+            .sum();
+        sum / samples as f64
+    }
+}
+
+/// Generate `rank`'s particles for a cluster workload.
+///
+/// The patch's share of `spec.total_particles` is proportional to its mean
+/// density estimate; positions are drawn by rejection sampling against the
+/// density restricted to the patch.
+pub fn cluster_patch_particles(
+    decomp: &DomainDecomposition,
+    rank: Rank,
+    spec: &ClusterSpec,
+    seed: u64,
+) -> Vec<Particle> {
+    let field = ClusterField::new(spec.clone(), &decomp.bounds, seed);
+    let bounds = decomp.patch_bounds(rank);
+    // Apportion budget: mean density of this patch over the sum across all
+    // patches. Every rank computes the same totals deterministically, so no
+    // communication is needed.
+    let mine = field.mean_density(&bounds, seed.wrapping_add(rank as u64), 256);
+    let all: f64 = (0..decomp.nprocs())
+        .map(|r| {
+            field.mean_density(
+                &decomp.patch_bounds(r),
+                seed.wrapping_add(r as u64),
+                256,
+            )
+        })
+        .sum();
+    let count = if all > 0.0 {
+        ((spec.total_particles as f64) * mine / all).round() as usize
+    } else {
+        0
+    };
+
+    // Rejection-sample positions against the local density. The local
+    // maximum is estimated from the patch samples; a 1.5× safety margin
+    // keeps acceptance correct-enough while bounding the loop.
+    let mut rng = rank_rng(seed, rank);
+    let mut local_max: f64 = f64::MIN;
+    for _ in 0..128 {
+        local_max = local_max.max(field.density(sample_in(&mut rng, &bounds)));
+    }
+    let ceiling = (local_max * 1.5).max(spec.background);
+    let mut out = Vec::with_capacity(count);
+    let mut local: u64 = 0;
+    while out.len() < count {
+        let p = sample_in(&mut rng, &bounds);
+        if rng.gen::<f64>() * ceiling <= field.density(p) {
+            out.push(make_particle(p, rank, local));
+            local += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spio_types::GridDims;
+
+    fn decomp() -> DomainDecomposition {
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 2))
+    }
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec {
+            clusters: 2,
+            sigma_frac: 0.08,
+            background: 0.01,
+            total_particles: 4000,
+        }
+    }
+
+    #[test]
+    fn density_peaks_at_centers() {
+        let d = decomp();
+        let f = ClusterField::new(small_spec(), &d.bounds, 3);
+        let c = f.centers[0];
+        let far = [
+            (c[0] + 0.5).rem_euclid(1.0),
+            (c[1] + 0.5).rem_euclid(1.0),
+            (c[2] + 0.5).rem_euclid(1.0),
+        ];
+        assert!(f.density(c) > f.density(far));
+    }
+
+    #[test]
+    fn counts_vary_and_total_is_close_to_budget() {
+        let d = decomp();
+        let spec = small_spec();
+        let counts: Vec<usize> = (0..d.nprocs())
+            .map(|r| cluster_patch_particles(&d, r, &spec, 9).len())
+            .collect();
+        let total: usize = counts.iter().sum();
+        let budget = spec.total_particles as usize;
+        assert!(
+            total as f64 > budget as f64 * 0.9 && (total as f64) < budget as f64 * 1.1,
+            "total {total} too far from budget {budget}"
+        );
+        assert!(
+            counts.iter().max() > counts.iter().min(),
+            "cluster workload should be imbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn particles_stay_in_patch() {
+        let d = decomp();
+        let ps = cluster_patch_particles(&d, 5, &small_spec(), 1);
+        let b = d.patch_bounds(5);
+        assert!(ps.iter().all(|p| b.contains(p.position)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = decomp();
+        let a = cluster_patch_particles(&d, 2, &small_spec(), 4);
+        let b = cluster_patch_particles(&d, 2, &small_spec(), 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! # spio-workloads
+//!
+//! Synthetic particle workload generators standing in for the simulation
+//! datasets of the paper's evaluation (§5.1, §6):
+//!
+//! * [`uniform`] — Uintah-style uniform-resolution runs: every process patch
+//!   holds the same number of uniformly distributed particles (the 32 Ki /
+//!   64 Ki particles-per-core weak-scaling workloads of Fig. 5/6).
+//! * [`clusters`] — Gaussian cluster mixtures, the cosmology-halo-like
+//!   non-uniform density of Fig. 10a.
+//! * [`jet`] — an injected particle plume, mimicking the coal-injection
+//!   dataset rendered in Fig. 9.
+//! * [`coverage`] — distributions occupying a shrinking fraction of the
+//!   domain (100 % → 12.5 %) with the *total* particle count held constant,
+//!   the Fig. 10d / Fig. 11 adaptive-aggregation stress test.
+//!
+//! All generators are deterministic given a seed and generate each rank's
+//! particles independently (seeded per rank), so a 262 144-rank workload can
+//! be described without materializing it.
+
+pub mod clusters;
+pub mod coverage;
+pub mod jet;
+pub mod uniform;
+
+pub use clusters::{cluster_patch_particles, ClusterSpec};
+pub use coverage::{coverage_counts_density, coverage_patch_particles, CoverageSpec};
+pub use jet::{jet_patch_particles, JetSpec};
+pub use uniform::uniform_patch_particles;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spio_types::{Aabb3, Particle, Rank};
+
+/// Deterministic per-rank RNG: independent streams for the same global seed.
+pub(crate) fn rank_rng(seed: u64, rank: Rank) -> ChaCha8Rng {
+    // Mix the rank into the stream with splitmix-style avalanche so
+    // neighbouring ranks do not get correlated streams.
+    let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Globally unique particle id: rank in the high bits, local index below.
+/// Supports up to 2^24 ranks × 2^40 particles per rank.
+pub(crate) fn particle_id(rank: Rank, local: u64) -> u64 {
+    ((rank as u64) << 40) | local
+}
+
+/// Sample a point uniformly inside `bounds` (half-open).
+pub(crate) fn sample_in(rng: &mut impl Rng, bounds: &Aabb3) -> [f64; 3] {
+    let mut p = [0.0; 3];
+    for a in 0..3 {
+        // gen::<f64>() is in [0, 1); scaling keeps the point inside the
+        // half-open box.
+        p[a] = bounds.lo[a] + rng.gen::<f64>() * (bounds.hi[a] - bounds.lo[a]);
+    }
+    p
+}
+
+/// Build a particle at `pos` with deterministic payload fields.
+pub(crate) fn make_particle(pos: [f64; 3], rank: Rank, local: u64) -> Particle {
+    Particle::synthetic(pos, particle_id(rank, local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_streams_are_independent_and_deterministic() {
+        let a1: Vec<u8> = {
+            let mut r = rank_rng(42, 0);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let a2: Vec<u8> = {
+            let mut r = rank_rng(42, 0);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u8> = {
+            let mut r = rank_rng(42, 1);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a1, a2, "same (seed, rank) ⇒ same stream");
+        assert_ne!(a1, b, "different rank ⇒ different stream");
+    }
+
+    #[test]
+    fn particle_ids_unique_across_ranks() {
+        let a = particle_id(0, 5);
+        let b = particle_id(1, 5);
+        let c = particle_id(1, 6);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn sample_in_respects_bounds() {
+        let b = Aabb3::new([-1.0, 2.0, 3.0], [1.0, 4.0, 3.5]);
+        let mut rng = rank_rng(7, 3);
+        for _ in 0..1000 {
+            let p = sample_in(&mut rng, &b);
+            assert!(b.contains(p), "{p:?} escaped {b:?}");
+        }
+    }
+}

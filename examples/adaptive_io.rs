@@ -1,0 +1,79 @@
+//! Adaptive aggregation (§6) on a non-uniform workload: particles occupy
+//! only a quarter of the domain. The static grid wastes aggregators (and
+//! files) on empty space; the adaptive grid covers just the occupied
+//! region.
+//!
+//! Run with: `cargo run --release --example adaptive_io`
+
+use spatial_particle_io::prelude::*;
+use spio_core::DatasetReader;
+use spio_workloads::{coverage_patch_particles, CoverageSpec};
+
+const RANKS: usize = 64;
+
+fn main() -> Result<(), SpioError> {
+    let decomp = DomainDecomposition::uniform(
+        Aabb3::new([0.0; 3], [1.0; 3]),
+        GridDims::new(4, 4, 4),
+    );
+    // Particles live only in the x < 0.25 slab, 200k total.
+    let spec = CoverageSpec::new(0.25, 200_000);
+
+    for adaptive in [false, true] {
+        let dir = std::env::temp_dir().join(format!("spio-adaptive-{adaptive}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = FsStorage::new(&dir);
+        let d = decomp.clone();
+        let s = storage.clone();
+        let spec2 = spec.clone();
+        run_threaded(RANKS, move |comm| {
+            let particles = coverage_patch_particles(&d, comm.rank(), &spec2, 99);
+            let writer = SpatialWriter::new(
+                d.clone(),
+                WriterConfig::new(PartitionFactor::new(2, 2, 2)).adaptive(adaptive),
+            );
+            writer.write(&comm, &particles, &s).unwrap();
+        })?;
+
+        let reader = DatasetReader::open(&storage)?;
+        let empty = reader
+            .meta
+            .entries
+            .iter()
+            .filter(|e| e.particle_count == 0)
+            .count();
+        let label = if adaptive { "adaptive" } else { "static" };
+        println!(
+            "{label:>8} grid: {} data files ({} empty), {} particles total",
+            reader.meta.entries.len(),
+            empty,
+            reader.meta.total_particles
+        );
+        for e in reader.meta.entries.iter().take(4) {
+            println!(
+                "          {} — {} particles, box {:?}..{:?}",
+                e.file_name(),
+                e.particle_count,
+                e.bounds.lo,
+                e.bounds.hi
+            );
+        }
+
+        // Both layouts answer the same query, but the adaptive layout
+        // wrote no useless files.
+        let query = Aabb3::new([0.0, 0.0, 0.0], [0.2, 0.5, 0.5]);
+        let (particles, stats) = reader.read_box(&storage, &query)?;
+        println!(
+            "          query -> {} particles from {} files\n",
+            particles.len(),
+            stats.files_opened
+        );
+    }
+
+    println!(
+        "The static grid imposed 8 partitions over the whole cube (Fig. 10e); \
+         the adaptive grid covered only the occupied band (Fig. 10f), writing \
+         fewer, denser files with aggregators still drawn from all ranks."
+    );
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! An end-to-end analysis session on a spatially-aware dataset: nearest
+//! neighbours, radius queries, a density-field stencil, and a progressive
+//! statistics estimate from LOD prefixes — the post-processing tasks the
+//! paper's layout is designed to accelerate (§3, §4).
+//!
+//! Run with: `cargo run --release --example analysis_workflow`
+
+use spatial_particle_io::prelude::*;
+use spio_analysis::{k_nearest, radius_query, DensityField, ProgressiveEstimator};
+use spio_core::{DatasetReader, LodCursor};
+use spio_workloads::{cluster_patch_particles, ClusterSpec};
+
+const RANKS: usize = 32;
+
+fn main() -> Result<(), SpioError> {
+    let dir = std::env::temp_dir().join("spio-analysis-workflow");
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = FsStorage::new(&dir);
+
+    // A clustered (cosmology-like) dataset with adaptive aggregation.
+    let decomp = DomainDecomposition::uniform(
+        Aabb3::new([0.0; 3], [1.0; 3]),
+        GridDims::new(4, 4, 2),
+    );
+    let spec = ClusterSpec {
+        clusters: 5,
+        sigma_frac: 0.07,
+        background: 0.02,
+        total_particles: 200_000,
+    };
+    let d = decomp.clone();
+    let s = storage.clone();
+    let spec2 = spec.clone();
+    run_threaded(RANKS, move |comm| {
+        let ps = cluster_patch_particles(&d, comm.rank(), &spec2, 321);
+        SpatialWriter::new(
+            d.clone(),
+            WriterConfig::new(PartitionFactor::new(2, 2, 2)).adaptive(true),
+        )
+        .write(&comm, &ps, &s)
+        .unwrap();
+    })?;
+
+    let reader = DatasetReader::open(&storage)?;
+    println!(
+        "dataset: {} particles in {} files\n",
+        reader.meta.total_particles,
+        reader.meta.entries.len()
+    );
+
+    // 1. Nearest neighbours around a probe point.
+    let probe = [0.5, 0.5, 0.5];
+    let (knn, stats) = k_nearest(&reader, &storage, probe, 8)?;
+    println!("8 nearest neighbours of {probe:?} (opened {} files):", stats.files_opened);
+    for p in &knn {
+        println!("  id {:>12}  at {:?}", p.id, p.position);
+    }
+
+    // 2. Radius query.
+    let (ball, stats) = radius_query(&reader, &storage, probe, 0.08)?;
+    println!(
+        "\nradius 0.08 around {probe:?}: {} particles, {} of {} files opened",
+        ball.len(),
+        stats.files_opened,
+        reader.meta.entries.len()
+    );
+
+    // 3. Density field + Laplacian stencil (edge detector for clusters).
+    let field = DensityField::from_dataset(&reader, &storage, [16, 16, 16])?;
+    let lap = field.laplacian();
+    let peak = field
+        .cells
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    let strongest_edge = lap.cells.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "\ndensity field 16^3: total {} particles, peak cell {}, strongest Laplacian response {:.1}",
+        field.total(),
+        peak,
+        strongest_edge
+    );
+
+    // 4. Progressive mean-density estimation from LOD prefixes.
+    let indices: Vec<usize> = (0..reader.meta.entries.len()).collect();
+    let cursor = LodCursor::new(&reader.meta, &indices, 1);
+    let mut est = ProgressiveEstimator::new(cursor, reader.meta.total_particles);
+    println!("\nprogressive mean-density estimate:");
+    while let Some(e) = est.refine(&storage)? {
+        if e.levels_read <= 3 || e.fraction > 0.99 {
+            println!(
+                "  after level {:>2} ({:>6.2}% of data): {:.4} ± {:.4}",
+                e.levels_read - 1,
+                e.fraction * 100.0,
+                e.mean_density,
+                e.std_error
+            );
+        }
+    }
+    println!(
+        "\nEvery step above opened only the files (or file prefixes) it needed — \
+         the point of the spatially-aware layout."
+    );
+    Ok(())
+}

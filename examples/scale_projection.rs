@@ -1,0 +1,69 @@
+//! Project an I/O configuration to leadership scale with the `hpcsim`
+//! machine models: how would this aggregation factor behave at 262,144
+//! ranks on Mira or Theta? (This is how the repository regenerates the
+//! paper's Fig. 5/6 without a supercomputer.)
+//!
+//! Run with: `cargo run --release --example scale_projection [procs]`
+
+use hpcsim::{simulate_fpp_write, simulate_spio_write};
+use spio_core::plan::plan_write;
+use spio_types::{Aabb3, DomainDecomposition, PartitionFactor, PARTICLE_BYTES};
+
+fn main() {
+    let procs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(65_536);
+    let per_core: u64 = 32 * 1024;
+    let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+    let counts = vec![per_core; procs];
+
+    println!(
+        "projecting a {procs}-rank job, {per_core} particles/core \
+         ({} GB per timestep)\n",
+        procs as u64 * per_core * PARTICLE_BYTES as u64 / (1 << 30)
+    );
+
+    for machine in [hpcsim::mira(), hpcsim::theta()] {
+        println!("== {} ==", machine.name);
+        println!(
+            "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "config", "files", "setup(s)", "agg(s)", "shuffle(s)", "io(s)", "GB/s"
+        );
+        for factor in [
+            PartitionFactor::new(1, 1, 1),
+            PartitionFactor::new(1, 2, 2),
+            PartitionFactor::new(2, 2, 2),
+            PartitionFactor::new(2, 4, 4),
+        ] {
+            let plan = plan_write(&decomp, factor, &counts, false).unwrap();
+            let b = simulate_spio_write(&plan, &machine);
+            println!(
+                "{:>10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.2}",
+                factor.to_string(),
+                plan.partition_count,
+                b.setup,
+                b.aggregation,
+                b.shuffle,
+                b.create + b.data_io,
+                b.throughput() / 1e9
+            );
+        }
+        let fpp = simulate_fpp_write(procs, per_core * PARTICLE_BYTES as u64, &machine);
+        println!(
+            "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10.3} {:>12.2}\n",
+            "IOR-FPP",
+            procs,
+            "-",
+            "-",
+            "-",
+            fpp.create + fpp.data_io,
+            fpp.throughput() / 1e9
+        );
+    }
+    println!(
+        "Pick the factor with the best projected throughput for your machine — \
+         the paper's conclusion is that this knob is machine- and workload-\
+         dependent, which is why it is exposed to users."
+    );
+}

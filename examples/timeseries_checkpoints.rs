@@ -1,0 +1,75 @@
+//! Checkpointing a moving simulation: write several timesteps of a
+//! drifting particle cloud into one series, then track a feature through
+//! time with box queries — each timestep is a full spatially-aware dataset
+//! under a shared directory.
+//!
+//! Run with: `cargo run --release --example timeseries_checkpoints`
+
+use spatial_particle_io::prelude::*;
+use spio_core::{open_timestep, SeriesManifest, SeriesWriter, WriteMode};
+use spio_types::Particle;
+
+const RANKS: usize = 8;
+const STEPS: u64 = 5;
+
+fn main() -> Result<(), SpioError> {
+    let dir = std::env::temp_dir().join("spio-timeseries");
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage = FsStorage::new(&dir);
+
+    let decomp = DomainDecomposition::uniform(
+        Aabb3::new([0.0; 3], [1.0; 3]),
+        GridDims::new(2, 2, 2),
+    );
+
+    // A blob of particles drifting along +x over time. Particles migrate
+    // across patch boundaries between checkpoints, so the writer uses the
+    // General (binning) mode.
+    for step in 0..STEPS {
+        let d = decomp.clone();
+        let s = storage.clone();
+        run_threaded(RANKS, move |comm| {
+            let base = uniform_patch_particles(&d, comm.rank(), 2_000, 77);
+            let drift = 0.12 * step as f64;
+            let moved: Vec<Particle> = base
+                .into_iter()
+                .map(|mut p| {
+                    // Only the blob near x<0.3 moves; wrap at the far wall.
+                    if p.position[0] < 0.3 {
+                        p.position[0] = (p.position[0] + drift).min(0.999);
+                    }
+                    p
+                })
+                .collect();
+            let writer = SeriesWriter::new(SpatialWriter::new(
+                d.clone(),
+                WriterConfig::new(PartitionFactor::new(2, 2, 1))
+                    .with_mode(WriteMode::General)
+                    .with_seed(1000 + step),
+            ));
+            writer.write_timestep(&comm, step, &moved, &s).unwrap();
+        })?;
+    }
+
+    let manifest = SeriesManifest::load(&storage)?;
+    println!("series holds timesteps {:?}\n", manifest.steps);
+
+    // Track the blob: query the band x in [0.3, 0.6) at every step.
+    let band = Aabb3::new([0.3, 0.0, 0.0], [0.6, 1.0, 1.0]);
+    println!("particles inside x∈[0.3, 0.6) over time:");
+    for &step in &manifest.steps {
+        let (reader, view) = open_timestep(&storage, step)?;
+        let (hits, stats) = reader.read_box(&view, &band)?;
+        println!(
+            "  t{step}: {:>6} particles ({} of {} files opened)",
+            hits.len(),
+            stats.files_opened,
+            reader.meta.entries.len()
+        );
+    }
+    println!(
+        "\nThe blob enters the band and leaves it again — each probe opened only \
+         the files intersecting the band at that timestep."
+    );
+    Ok(())
+}

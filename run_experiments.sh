@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure and the ablation studies into results/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mkdir -p results results/fig9
+BINS=(fig5_write_scaling fig6_time_breakdown fig7_read_scaling \
+      fig8_lod_reads fig9_lod_quality fig11_adaptive ablation_studies)
+
+cargo build --release -p spio-bench >/dev/null
+
+for bin in "${BINS[@]}"; do
+    echo "== $bin =="
+    if [ "$bin" = fig9_lod_quality ]; then
+        FIG9_PPM_DIR=results/fig9 cargo run -q --release -p spio-bench --bin "$bin" \
+            | tee "results/$bin.txt"
+    else
+        cargo run -q --release -p spio-bench --bin "$bin" | tee "results/$bin.txt"
+    fi
+    echo
+done
+
+echo "All figure outputs written to results/ (PPM panels in results/fig9/)."

@@ -1,0 +1,186 @@
+//! The same simulation written with the spatially-aware writer and every
+//! baseline must contain identical particle sets; the layouts differ in
+//! exactly the ways the paper describes.
+
+use spatial_particle_io::prelude::*;
+use spio_baselines::{FppWriter, SharedFileWriter, SubfileWriter};
+use spio_core::{DatasetReader, MemStorage};
+use spio_types::Particle;
+
+const DIMS: (usize, usize, usize) = (4, 2, 2);
+const PER_RANK: usize = 400;
+
+fn decomp() -> DomainDecomposition {
+    DomainDecomposition::uniform(
+        Aabb3::new([0.0; 3], [1.0; 3]),
+        GridDims::new(DIMS.0, DIMS.1, DIMS.2),
+    )
+}
+
+fn rank_particles(rank: usize) -> Vec<Particle> {
+    uniform_patch_particles(&decomp(), rank, PER_RANK, 99)
+}
+
+fn sorted_ids(ps: &[Particle]) -> Vec<u64> {
+    let mut ids: Vec<u64> = ps.iter().map(|p| p.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn reference_ids() -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..decomp().nprocs())
+        .flat_map(|r| rank_particles(r).into_iter().map(|p| p.id))
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn all_strategies_store_the_same_particles() {
+    let n = decomp().nprocs();
+
+    // Spatially-aware.
+    let spio = MemStorage::new();
+    let s = spio.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        let d = decomp();
+        SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let reader = DatasetReader::open(&spio).unwrap();
+    let (spio_all, _) = reader.read_all(&spio).unwrap();
+
+    // File per process.
+    let fpp = MemStorage::new();
+    let s = fpp.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        FppWriter::new()
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let fpp_all: Vec<Particle> = (0..n)
+        .flat_map(|r| FppWriter::read_file(&fpp, r).unwrap())
+        .collect();
+
+    // Shared file collective.
+    let shared = MemStorage::new();
+    let s = shared.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SharedFileWriter::new(4)
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let shared_all = SharedFileWriter::read_all(&shared).unwrap();
+
+    // HDF5-style subfiling.
+    let sub = MemStorage::new();
+    let s = sub.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SubfileWriter::new(4)
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let sub_all: Vec<Particle> = (0..n / 4)
+        .flat_map(|g| SubfileWriter::read_group(&sub, g, 4).unwrap())
+        .collect();
+
+    let expected = reference_ids();
+    assert_eq!(sorted_ids(&spio_all), expected);
+    assert_eq!(sorted_ids(&fpp_all), expected);
+    assert_eq!(sorted_ids(&shared_all), expected);
+    assert_eq!(sorted_ids(&sub_all), expected);
+}
+
+#[test]
+fn box_query_cost_ordering_matches_paper() {
+    // For a small region query: the spatial layout opens few files and
+    // discards little; FPP and shared-file must scan everything.
+    let n = decomp().nprocs();
+    let spio = MemStorage::new();
+    let s = spio.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SpatialWriter::new(decomp(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let fpp = MemStorage::new();
+    let s = fpp.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        FppWriter::new()
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    let shared = MemStorage::new();
+    let s = shared.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SharedFileWriter::new(4)
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+
+    // Query one patch-sized corner.
+    let q = Aabb3::new([0.0; 3], [0.24, 0.49, 0.49]);
+    let reader = DatasetReader::open(&spio).unwrap();
+    let (spio_hits, spio_stats) = reader.read_box(&spio, &q).unwrap();
+    let (fpp_hits, fpp_stats) = FppWriter::read_box(&fpp, n, &q).unwrap();
+    let (shared_hits, shared_stats) = SharedFileWriter::read_box(&shared, &q).unwrap();
+
+    // Same answer everywhere…
+    assert_eq!(sorted_ids(&spio_hits), sorted_ids(&fpp_hits));
+    assert_eq!(sorted_ids(&spio_hits), sorted_ids(&shared_hits));
+    assert!(!spio_hits.is_empty());
+
+    // …but very different costs.
+    assert_eq!(spio_stats.files_opened, 1, "spatial layout: one file");
+    assert_eq!(fpp_stats.files_opened, n as u64, "FPP scans all rank files");
+    assert!(spio_stats.bytes_read < fpp_stats.bytes_read / 3);
+    assert!(spio_stats.bytes_read < shared_stats.bytes_read / 3);
+    assert!(spio_stats.particles_discarded < fpp_stats.particles_discarded);
+}
+
+#[test]
+fn subfiling_requires_matching_reader_layout() {
+    // §2.1: with HDF5-style subfiling "the number of reader processes and
+    // sub-filing factor must match the write configuration" — our
+    // spatially-aware format has no such restriction.
+    let n = decomp().nprocs();
+    let sub = MemStorage::new();
+    let s = sub.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SubfileWriter::new(8)
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    assert!(SubfileWriter::read_group(&sub, 0, 8).is_ok());
+    assert!(SubfileWriter::read_group(&sub, 0, 4).is_err());
+
+    // The spatial dataset reads fine with any reader count.
+    let spio = MemStorage::new();
+    let s = spio.clone();
+    spio_comm::run_threaded_collect(n, move |comm| {
+        SpatialWriter::new(decomp(), WriterConfig::new(PartitionFactor::new(2, 2, 2)))
+            .write(&comm, &rank_particles(comm.rank()), &s)
+            .unwrap();
+    })
+    .unwrap();
+    for readers in [1usize, 3, 5, 7] {
+        let s = spio.clone();
+        let got: usize = spio_comm::run_threaded_collect(readers, move |comm| {
+            let (ps, _) = spio_core::BoxQueryReader::read(&comm, &s, true).unwrap();
+            ps.len()
+        })
+        .unwrap()
+        .into_iter()
+        .sum();
+        assert_eq!(got, n * PER_RANK, "readers={readers}");
+    }
+}
