@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, formatting, lints.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

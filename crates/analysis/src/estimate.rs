@@ -99,10 +99,8 @@ mod tests {
     fn dataset() -> (MemStorage, f64) {
         let storage = MemStorage::new();
         let s = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 2, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 1));
         run_threaded_collect(8, move |comm| {
             let b = d.patch_bounds(comm.rank());
             let n = 2000;

@@ -110,8 +110,14 @@ pub fn density_histogram_lod<S: Storage>(
 
 fn density_bounds(reader: &DatasetReader) -> (f64, f64) {
     if let Some(ranges) = &reader.meta.attr_ranges {
-        let lo = ranges.iter().map(|r| r.density_min).fold(f64::MAX, f64::min);
-        let hi = ranges.iter().map(|r| r.density_max).fold(f64::MIN, f64::max);
+        let lo = ranges
+            .iter()
+            .map(|r| r.density_min)
+            .fold(f64::MAX, f64::min);
+        let hi = ranges
+            .iter()
+            .map(|r| r.density_max)
+            .fold(f64::MIN, f64::max);
         if lo < hi {
             // Nudge so the max lands inside the last half-open bin.
             return (lo, hi + (hi - lo) * 1e-9 + f64::MIN_POSITIVE);
@@ -130,10 +136,8 @@ mod tests {
     fn dataset() -> MemStorage {
         let storage = MemStorage::new();
         let s = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 2, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 1));
         run_threaded_collect(8, move |comm| {
             let b = d.patch_bounds(comm.rank());
             let n = 4000;

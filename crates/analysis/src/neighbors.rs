@@ -80,10 +80,7 @@ pub fn k_nearest<S: Storage>(
         total_stats.files_opened += stats.files_opened;
         total_stats.bytes_read += stats.bytes_read;
         if hits.len() >= k || radius > diag {
-            hits.sort_by(|a, b| {
-                dist2(a.position, center)
-                    .total_cmp(&dist2(b.position, center))
-            });
+            hits.sort_by(|a, b| dist2(a.position, center).total_cmp(&dist2(b.position, center)));
             hits.truncate(k);
             total_stats.particles_read = hits.len() as u64;
             return Ok((hits, total_stats));
@@ -96,10 +93,7 @@ pub fn k_nearest<S: Storage>(
 /// points exactly on the hi faces.
 fn grow(b: &Aabb3) -> Aabb3 {
     let eps = 1e-12;
-    Aabb3::new(
-        b.lo,
-        [b.hi[0] + eps, b.hi[1] + eps, b.hi[2] + eps],
-    )
+    Aabb3::new(b.lo, [b.hi[0] + eps, b.hi[1] + eps, b.hi[2] + eps])
 }
 
 #[cfg(test)]
@@ -113,10 +107,8 @@ mod tests {
     fn dataset() -> MemStorage {
         let storage = MemStorage::new();
         let s = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 2, 2),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 2));
         run_threaded_collect(16, move |comm| {
             let ps = uniform_patch_particles(&d, comm.rank(), 500, 17);
             SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))

@@ -102,11 +102,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 Particle::synthetic(
-                    [
-                        (rank as f64 + (i as f64 + 0.5) / n as f64) / 4.0,
-                        0.5,
-                        0.5,
-                    ],
+                    [(rank as f64 + (i as f64 + 0.5) / n as f64) / 4.0, 0.5, 0.5],
                     ((rank as u64) << 32) | i as u64,
                 )
             })
@@ -153,7 +149,9 @@ mod tests {
         let storage = MemStorage::new();
         storage.write_file("fpp_0.dat", &[0u8; 10]).unwrap();
         assert!(FppWriter::read_file(&storage, 0).is_err());
-        storage.write_file("fpp_1.dat", b"SPIOFPP1........").unwrap();
+        storage
+            .write_file("fpp_1.dat", b"SPIOFPP1........")
+            .unwrap();
         assert!(FppWriter::read_file(&storage, 1).is_err());
     }
 }

@@ -79,20 +79,23 @@ impl SharedFileWriter {
         // Two-phase exchange: send my buffer to my rank-order aggregator.
         let t0 = Instant::now();
         let my_agg = (me / group) * group;
-        comm.isend(my_agg, TAG_COUNT, (particles.len() as u64).to_le_bytes().to_vec())
-            .wait();
+        let mut sends = Vec::new();
+        sends.push(comm.isend(
+            my_agg,
+            TAG_COUNT,
+            (particles.len() as u64).to_le_bytes().to_vec(),
+        ));
         if !particles.is_empty() {
-            comm.isend(my_agg, TAG_DATA, encode_particles(particles))
-                .wait();
+            sends.push(comm.isend(my_agg, TAG_DATA, encode_particles(particles)));
         }
 
-        let i_am_agg = me % group == 0;
+        let i_am_agg = me.is_multiple_of(group);
         let mut gathered: Vec<u8> = Vec::new();
         if i_am_agg {
             let members: Vec<usize> = (me..(me + group).min(n)).collect();
             let mut member_counts = Vec::with_capacity(members.len());
             for &m in &members {
-                let b = comm.recv(m, TAG_COUNT);
+                let b = comm.recv(m, TAG_COUNT)?;
                 let c = u64::from_le_bytes(
                     b.as_slice()
                         .try_into()
@@ -102,10 +105,13 @@ impl SharedFileWriter {
             }
             for &(m, c) in &member_counts {
                 if c > 0 {
-                    gathered.extend(comm.recv(m, TAG_DATA));
+                    gathered.extend(comm.recv(m, TAG_DATA)?);
                 }
             }
             stats.particles_aggregated = (gathered.len() / PARTICLE_BYTES) as u64;
+        }
+        for s in sends {
+            s.wait();
         }
         stats.aggregation_time = t0.elapsed();
 
@@ -229,7 +235,7 @@ mod tests {
         })
         .unwrap();
         let ps = SharedFileWriter::read_all(&storage).unwrap();
-        assert_eq!(ps.len(), 0 + 1 + 2 + 3);
+        assert_eq!(ps.len(), 6); // ranks contribute 0 + 1 + 2 + 3 particles
     }
 
     #[test]

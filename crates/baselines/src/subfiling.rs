@@ -54,18 +54,21 @@ impl SubfileWriter {
         let group_first = (me / f) * f;
 
         let t0 = Instant::now();
-        comm.isend(group_first, TAG_COUNT, (particles.len() as u64).to_le_bytes().to_vec())
-            .wait();
+        let mut sends = Vec::new();
+        sends.push(comm.isend(
+            group_first,
+            TAG_COUNT,
+            (particles.len() as u64).to_le_bytes().to_vec(),
+        ));
         if !particles.is_empty() {
-            comm.isend(group_first, TAG_DATA, encode_particles(particles))
-                .wait();
+            sends.push(comm.isend(group_first, TAG_DATA, encode_particles(particles)));
         }
         let mut my_counts: Vec<u64> = Vec::new();
         let mut gathered = Vec::new();
         if me == group_first {
             let members: Vec<usize> = (me..(me + f).min(n)).collect();
             for &m in &members {
-                let b = comm.recv(m, TAG_COUNT);
+                let b = comm.recv(m, TAG_COUNT)?;
                 my_counts.push(u64::from_le_bytes(
                     b.as_slice()
                         .try_into()
@@ -74,10 +77,13 @@ impl SubfileWriter {
             }
             for (i, &m) in members.iter().enumerate() {
                 if my_counts[i] > 0 {
-                    gathered.extend(comm.recv(m, TAG_DATA));
+                    gathered.extend(comm.recv(m, TAG_DATA)?);
                 }
             }
             stats.particles_aggregated = (gathered.len() / PARTICLE_BYTES) as u64;
+        }
+        for s in sends {
+            s.wait();
         }
         stats.aggregation_time = t0.elapsed();
 
@@ -138,12 +144,8 @@ impl SubfileWriter {
             )));
         }
         let bytes = storage.read_file(&subfile_name(group))?;
-        let expected: u64 = counts
-            .iter()
-            .skip(group * f)
-            .take(f)
-            .sum::<u64>()
-            * PARTICLE_BYTES as u64;
+        let expected: u64 =
+            counts.iter().skip(group * f).take(f).sum::<u64>() * PARTICLE_BYTES as u64;
         if bytes.len() as u64 != expected {
             return Err(SpioError::Format("subfile length mismatch".into()));
         }

@@ -1,11 +1,10 @@
-//! Criterion bench for the per-particle binning of the non-aligned write
-//! path (§3.3): "each process must first identify the aggregation
-//! partitions it intersects with and perform a scan through its particles".
+//! Microbench for the per-particle binning of the non-aligned write path
+//! (§3.3): "each process must first identify the aggregation partitions it
+//! intersects with and perform a scan through its particles".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spio_core::grid::AggregationGrid;
 use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, PartitionFactor};
-use std::hint::black_box;
+use spio_util::bench::{bench, black_box};
 
 fn scattered_particles(n: usize) -> Vec<Particle> {
     (0..n)
@@ -17,45 +16,25 @@ fn scattered_particles(n: usize) -> Vec<Particle> {
         .collect()
 }
 
-fn bench_binning(c: &mut Criterion) {
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(8, 8, 8),
-    );
+fn main() {
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(8, 8, 8));
     let grid = AggregationGrid::aligned(&decomp, PartitionFactor::new(2, 2, 2)).unwrap();
-    let mut group = c.benchmark_group("particle_binning");
-    for &n in &[32 * 1024usize, 256 * 1024] {
+    for n in [32 * 1024usize, 256 * 1024] {
         let ps = scattered_particles(n);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
-            b.iter(|| {
-                let mut bins = vec![0u32; grid.partitions.len()];
-                for p in ps {
-                    bins[grid.partition_of_point(p.position).unwrap()] += 1;
-                }
-                black_box(bins)
-            });
+        bench(&format!("particle_binning/{n}"), || {
+            let mut bins = vec![0u32; grid.partitions.len()];
+            for p in &ps {
+                bins[grid.partition_of_point(p.position).unwrap()] += 1;
+            }
+            black_box(bins);
         });
     }
-    group.finish();
-}
-
-fn bench_grid_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aggregation_grid_setup");
-    group.sample_size(10);
     // Build the full grid structure at the paper's largest job size.
-    for &procs in &[4096usize, 65_536, 262_144] {
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
-            let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
-            b.iter(|| {
-                black_box(
-                    AggregationGrid::aligned(&decomp, PartitionFactor::new(2, 2, 2)).unwrap(),
-                )
-            });
+    for procs in [4096usize, 65_536, 262_144] {
+        let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+        bench(&format!("aggregation_grid_setup/{procs}"), || {
+            black_box(AggregationGrid::aligned(&decomp, PartitionFactor::new(2, 2, 2)).unwrap());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_binning, bench_grid_construction);
-criterion_main!(benches);

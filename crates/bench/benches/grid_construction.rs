@@ -1,13 +1,12 @@
-//! Criterion bench for aggregation-grid construction: the static §3.1
-//! grid, the §6 adaptive grid, the §7 balanced bisection, and the
-//! event-level write simulation that replays their plans.
+//! Microbench for aggregation-grid construction: the static §3.1 grid, the
+//! §6 adaptive grid, the §7 balanced bisection, and the event-level write
+//! simulation that replays their plans.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcsim::simulate_spio_write_events;
 use spio_core::adaptive::AdaptiveGrid;
 use spio_core::plan::plan_write;
 use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
-use std::hint::black_box;
+use spio_util::bench::{bench, black_box};
 
 fn skewed_counts(decomp: &DomainDecomposition) -> Vec<u64> {
     (0..decomp.nprocs())
@@ -24,45 +23,30 @@ fn skewed_counts(decomp: &DomainDecomposition) -> Vec<u64> {
         .collect()
 }
 
-fn bench_adaptive_grids(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adaptive_grid");
-    group.sample_size(10);
-    for &procs in &[4096usize, 32_768] {
+fn main() {
+    for procs in [4096usize, 32_768] {
         let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
         let counts = skewed_counts(&decomp);
-        group.bench_with_input(BenchmarkId::new("bbox", procs), &procs, |b, _| {
-            b.iter(|| {
-                black_box(
-                    AdaptiveGrid::build(&decomp, PartitionFactor::new(2, 2, 2), &counts).unwrap(),
-                )
-            });
+        bench(&format!("adaptive_grid/bbox/{procs}"), || {
+            black_box(
+                AdaptiveGrid::build(&decomp, PartitionFactor::new(2, 2, 2), &counts).unwrap(),
+            );
         });
-        group.bench_with_input(BenchmarkId::new("balanced", procs), &procs, |b, _| {
-            b.iter(|| {
-                black_box(
-                    AdaptiveGrid::build_balanced(&decomp, PartitionFactor::new(2, 2, 2), &counts)
-                        .unwrap(),
-                )
-            });
+        bench(&format!("adaptive_grid/balanced/{procs}"), || {
+            black_box(
+                AdaptiveGrid::build_balanced(&decomp, PartitionFactor::new(2, 2, 2), &counts)
+                    .unwrap(),
+            );
         });
     }
-    group.finish();
-}
 
-fn bench_event_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_sim_write");
-    group.sample_size(10);
-    for &procs in &[32_768usize, 262_144] {
+    let machine = hpcsim::theta();
+    for procs in [32_768usize, 262_144] {
         let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
         let counts = vec![32_768u64; procs];
         let plan = plan_write(&decomp, PartitionFactor::new(2, 2, 2), &counts, false).unwrap();
-        let machine = hpcsim::theta();
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &plan, |b, plan| {
-            b.iter(|| black_box(simulate_spio_write_events(plan, &machine)));
+        bench(&format!("event_sim_write/{procs}"), || {
+            black_box(simulate_spio_write_events(&plan, &machine));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_adaptive_grids, bench_event_sim);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion bench for the LOD reshuffle (§3.4).
+//! Microbench for the LOD reshuffle (§3.4).
 //!
 //! The paper measures the reordering of 32 Ki particles at 33 ms on Mira
 //! and 80 ms on Theta (single core, not parallelized). This bench measures
 //! the same operation on the build machine, at the paper's size and at the
 //! aggregated-buffer sizes larger partition factors produce.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use spio_core::shuffle::{lod_shuffle, partition_seed, shuffle_permutation};
+use spio_core::shuffle::{lod_shuffle, lod_shuffle_parallel, partition_seed, shuffle_permutation};
 use spio_types::Particle;
-use std::hint::black_box;
+use spio_util::bench::{bench, black_box};
 
 fn particles(n: usize) -> Vec<Particle> {
     (0..n)
@@ -16,30 +15,23 @@ fn particles(n: usize) -> Vec<Particle> {
         .collect()
 }
 
-fn bench_shuffle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lod_shuffle");
-    group.sample_size(20);
+fn main() {
     // 32 Ki = the paper's per-core load; 256 Ki and 2 Mi = typical
     // aggregation buffers at factors (2,2,2) and (4,4,4).
-    for &n in &[32 * 1024usize, 256 * 1024, 2 * 1024 * 1024] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let base = particles(n);
-            b.iter(|| {
-                let mut buf = base.clone();
-                lod_shuffle(&mut buf, black_box(42));
-                black_box(buf.len())
-            });
+    for n in [32 * 1024usize, 256 * 1024, 2 * 1024 * 1024] {
+        let base = particles(n);
+        bench(&format!("lod_shuffle/{n}"), || {
+            let mut buf = base.clone();
+            lod_shuffle(&mut buf, black_box(42));
+            black_box(buf.len());
+        });
+        bench(&format!("lod_shuffle_parallel/{n}"), || {
+            let mut buf = base.clone();
+            lod_shuffle_parallel(&mut buf, black_box(42));
+            black_box(buf.len());
         });
     }
-    group.finish();
-}
-
-fn bench_permutation_reconstruction(c: &mut Criterion) {
-    c.bench_function("shuffle_permutation_32k", |b| {
-        b.iter(|| black_box(shuffle_permutation(32 * 1024, partition_seed(1, 7))))
+    bench("shuffle_permutation_32k", || {
+        black_box(shuffle_permutation(32 * 1024, partition_seed(1, 7)));
     });
 }
-
-criterion_group!(benches, bench_shuffle, bench_permutation_reconstruction);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
-//! Criterion bench for the particle record codec: the serialization on the
+//! Microbench for the particle record codec: the serialization on the
 //! write path and the decode on the read path (124 B per particle).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spio_types::particle::{decode_particles, encode_particles};
-use spio_types::{Particle, PARTICLE_BYTES};
-use std::hint::black_box;
+use spio_types::Particle;
+use spio_util::bench::{bench, black_box};
 
 fn particles(n: usize) -> Vec<Particle> {
     (0..n)
@@ -12,21 +11,15 @@ fn particles(n: usize) -> Vec<Particle> {
         .collect()
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("particle_codec");
-    for &n in &[1024usize, 32 * 1024] {
+fn main() {
+    for n in [1024usize, 32 * 1024] {
         let ps = particles(n);
         let bytes = encode_particles(&ps);
-        group.throughput(Throughput::Bytes((n * PARTICLE_BYTES) as u64));
-        group.bench_with_input(BenchmarkId::new("encode", n), &ps, |b, ps| {
-            b.iter(|| black_box(encode_particles(ps)));
+        bench(&format!("particle_codec/encode/{n}"), || {
+            black_box(encode_particles(&ps));
         });
-        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
-            b.iter(|| black_box(decode_particles(bytes)));
+        bench(&format!("particle_codec/decode/{n}"), || {
+            black_box(decode_particles(&bytes));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -1,31 +1,21 @@
-//! Criterion bench for the write planner: building the exact message/file
+//! Microbench for the write planner: building the exact message/file
 //! inventory for a 262 144-rank job must stay cheap, since the simulator
 //! calls it for every Fig. 5 point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spio_core::plan::{plan_box_read, plan_write, DatasetShape};
 use spio_format::LodParams;
 use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
-use std::hint::black_box;
+use spio_util::bench::{bench, black_box};
 
-fn bench_write_planner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plan_write");
-    group.sample_size(10);
-    for &procs in &[65_536usize, 262_144] {
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
-            let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
-            let counts = vec![32_768u64; procs];
-            b.iter(|| {
-                black_box(
-                    plan_write(&decomp, PartitionFactor::new(2, 2, 2), &counts, false).unwrap(),
-                )
-            });
+fn main() {
+    for procs in [65_536usize, 262_144] {
+        let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
+        let counts = vec![32_768u64; procs];
+        bench(&format!("plan_write/{procs}"), || {
+            black_box(plan_write(&decomp, PartitionFactor::new(2, 2, 2), &counts, false).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_read_planner(c: &mut Criterion) {
     // The Fig. 7 dataset: 8192 files.
     let files: Vec<(Aabb3, u64)> = (0..8192)
         .map(|i| {
@@ -44,10 +34,7 @@ fn bench_read_planner(c: &mut Criterion) {
         files,
         lod: LodParams::default(),
     };
-    c.bench_function("plan_box_read_2048_readers", |b| {
-        b.iter(|| black_box(plan_box_read(&shape, 2048, true)))
+    bench("plan_box_read_2048_readers", || {
+        black_box(plan_box_read(&shape, 2048, true));
     });
 }
-
-criterion_group!(benches, bench_write_planner, bench_read_planner);
-criterion_main!(benches);

@@ -194,10 +194,7 @@ mod tests {
                 );
             }
             // The sparsest configuration shows a pronounced gap.
-            let sparsest = rows
-                .iter()
-                .max_by_key(|r| r.factor.group_size())
-                .unwrap();
+            let sparsest = rows.iter().max_by_key(|r| r.factor.group_size()).unwrap();
             assert!(
                 sparsest.local_agg > 1.5 * sparsest.uniform_agg,
                 "{}: local {} vs uniform {}",
@@ -214,19 +211,12 @@ mod tests {
         // machines — the reason the paper exposes the knob.
         for m in [mira(), theta()] {
             let rows = partition_factor_sensitivity(&m, 65_536, 32 * 1024);
-            let best = rows
-                .iter()
-                .map(|r| r.throughput_gbs)
-                .fold(0.0f64, f64::max);
+            let best = rows.iter().map(|r| r.throughput_gbs).fold(0.0f64, f64::max);
             let worst = rows
                 .iter()
                 .map(|r| r.throughput_gbs)
                 .fold(f64::MAX, f64::min);
-            assert!(
-                best > 2.0 * worst,
-                "{}: best {best} worst {worst}",
-                m.name
-            );
+            assert!(best > 2.0 * worst, "{}: best {best} worst {worst}", m.name);
         }
     }
 }

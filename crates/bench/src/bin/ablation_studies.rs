@@ -45,13 +45,7 @@ fn main() {
         ];
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| {
-                vec![
-                    r.factor.to_string(),
-                    secs(r.uniform_agg),
-                    secs(r.local_agg),
-                ]
-            })
+            .map(|r| vec![r.factor.to_string(), secs(r.uniform_agg), secs(r.local_agg)])
             .collect();
         print_table(&header, &table);
         println!();

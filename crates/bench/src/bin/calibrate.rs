@@ -31,7 +31,10 @@ fn main() {
     }
 
     for machine in [hpcsim::mira(), hpcsim::theta()] {
-        println!("== fig6 {} 32Ki breakdown at 32768 (agg frac | agg s | io s) ==", machine.name);
+        println!(
+            "== fig6 {} 32Ki breakdown at 32768 (agg frac | agg s | io s) ==",
+            machine.name
+        );
         for b in spio_bench::fig6::time_breakdown(&machine, 32 * 1024) {
             println!(
                 "{:>8}  {:>6.3}  {:>8.3}  {:>8.3}",
@@ -46,7 +49,10 @@ fn main() {
 
     println!("== fig7 theta ==");
     let pts = fig7::read_scaling(&hpcsim::theta(), &fig7::THETA_READERS);
-    println!("{:>8} {:>14} {:>14} {:>14}", "readers", "meta", "no-meta", "fpp+meta");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "readers", "meta", "no-meta", "fpp+meta"
+    );
     for &n in &fig7::THETA_READERS {
         println!(
             "{n:>8} {:>14.2} {:>14.2} {:>14.2}",
@@ -79,7 +85,10 @@ fn main() {
     }
 
     for machine in [hpcsim::mira(), hpcsim::theta()] {
-        println!("== fig11 {} (coverage: nonadaptive adaptive) ==", machine.name);
+        println!(
+            "== fig11 {} (coverage: nonadaptive adaptive) ==",
+            machine.name
+        );
         let pts = fig11::adaptive_sweep(&machine);
         for &cov in &fig11::COVERAGES {
             println!(

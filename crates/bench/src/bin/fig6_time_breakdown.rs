@@ -49,19 +49,39 @@ fn main() {
         "aggregation".to_string(),
         "agg (s)".to_string(),
         "io (s)".to_string(),
+        "trace agg (s)".to_string(),
+        "trace io (s)".to_string(),
+        "drift".to_string(),
     ];
-    let rows: Vec<Vec<String>> = fig6::time_breakdown_real(64, 20_000)
-        .into_iter()
-        .map(|b| {
+    let real = fig6::time_breakdown_real(64, 20_000);
+    let rows: Vec<Vec<String>> = real
+        .iter()
+        .map(|rb| {
             vec![
-                b.config.to_string(),
-                pct(b.aggregation_fraction),
-                secs(b.aggregation_secs),
-                secs(b.file_io_secs),
+                rb.bar.config.to_string(),
+                pct(rb.bar.aggregation_fraction),
+                secs(rb.bar.aggregation_secs),
+                secs(rb.bar.file_io_secs),
+                secs(rb.trace_aggregation_secs),
+                secs(rb.trace_file_io_secs),
+                pct(rb.trace_disagreement()),
             ]
         })
         .collect();
     print_table(&header, &rows);
+    let worst = real
+        .iter()
+        .map(|rb| rb.trace_disagreement())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst <= 0.05,
+        "trace-derived breakdown drifted {:.1}% from WriteStats",
+        worst * 100.0
+    );
+    println!(
+        "trace cross-check: phase spans agree with WriteStats within {} (<= 5% required)",
+        pct(worst)
+    );
 
     println!(
         "\nPaper reference (Fig. 6): aggregation share grows with the partition \

@@ -39,8 +39,7 @@ fn main() {
                 );
                 let (_, end) = spio_format::data_file::payload_range(0, take as usize);
                 let bytes = storage.read_range(&entry.file_name(), 0, end).unwrap();
-                let (_, ps) =
-                    spio_format::data_file::decode_prefix(&bytes, take as usize).unwrap();
+                let (_, ps) = spio_format::data_file::decode_prefix(&bytes, take as usize).unwrap();
                 prefix.extend(ps);
             }
             let img = fig9::render_ppm(&prefix, &reader.meta.domain, 480, 480);

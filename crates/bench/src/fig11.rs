@@ -137,10 +137,7 @@ mod tests {
         // Theta (green line)" — the OSTs are shared and placement of
         // aggregators matters less.
         let pts = adaptive_sweep(&theta());
-        let times: Vec<f64> = COVERAGES
-            .iter()
-            .map(|&c| time_of(&pts, c, true))
-            .collect();
+        let times: Vec<f64> = COVERAGES.iter().map(|&c| time_of(&pts, c, true)).collect();
         let max = times.iter().cloned().fold(0.0, f64::max);
         let min = times.iter().cloned().fold(f64::MAX, f64::min);
         assert!(

@@ -66,11 +66,7 @@ pub fn spio_point(
 }
 
 /// Simulate the full Fig. 5 panel for one machine and workload.
-pub fn weak_scaling(
-    machine: &MachineModel,
-    procs_list: &[usize],
-    per_core: u64,
-) -> Vec<Point> {
+pub fn weak_scaling(machine: &MachineModel, procs_list: &[usize], per_core: u64) -> Vec<Point> {
     let bytes_per_rank = per_core * PARTICLE_BYTES as u64;
     let mut points = Vec::new();
     for &procs in procs_list {

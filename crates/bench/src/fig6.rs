@@ -24,8 +24,7 @@ pub fn time_breakdown(machine: &MachineModel, per_core: u64) -> Vec<Bar> {
     crate::fig5::configs_for(machine)
         .into_iter()
         .map(|factor| {
-            let decomp =
-                DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), FIG6_PROCS);
+            let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), FIG6_PROCS);
             let counts = vec![per_core; FIG6_PROCS];
             let plan = plan_write(&decomp, factor, &counts, false).unwrap();
             let b = simulate_spio_write(&plan, machine);
@@ -39,14 +38,48 @@ pub fn time_breakdown(machine: &MachineModel, per_core: u64) -> Vec<Bar> {
         .collect()
 }
 
+/// One bar of the real-execution breakdown: the [`Bar`] derived from
+/// [`spio_core::WriteStats`], plus the same split derived independently
+/// from the job's trace phase spans. The two must agree — the writer
+/// records both from the same clock reads — so any drift flags an
+/// instrumentation bug.
+#[derive(Debug, Clone)]
+pub struct RealBar {
+    pub bar: Bar,
+    /// Max-across-ranks aggregation time from the trace's phase spans.
+    pub trace_aggregation_secs: f64,
+    /// Max-across-ranks file-I/O time from the trace's phase spans.
+    pub trace_file_io_secs: f64,
+}
+
+impl RealBar {
+    /// Relative disagreement between the trace- and stats-derived
+    /// aggregation/file-I/O split (0.0 = identical).
+    pub fn trace_disagreement(&self) -> f64 {
+        let rel = |a: f64, b: f64| {
+            if a.max(b) > 0.0 {
+                (a - b).abs() / a.max(b)
+            } else {
+                0.0
+            }
+        };
+        rel(self.trace_aggregation_secs, self.bar.aggregation_secs)
+            .max(rel(self.trace_file_io_secs, self.bar.file_io_secs))
+    }
+}
+
 /// Supplementary desk-scale *real execution*: run the actual writer on the
 /// thread runtime at `procs` ranks and report measured per-phase wall
 /// times. Absolute values reflect the build machine, but the qualitative
 /// Fig. 6 trend — aggregation share grows with the partition factor — is
-/// observable in real message traffic, not just the model.
-pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<Bar> {
+/// observable in real message traffic, not just the model. Each job runs
+/// with a [`spio_trace::Trace`] attached, and the returned bars carry the
+/// trace-derived split for cross-checking against `WriteStats`.
+pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<RealBar> {
     use spio_comm::{run_threaded_collect, Comm};
+    use spio_core::writer::phases;
     use spio_core::{MemStorage, SpatialWriter, WriteStats, WriterConfig};
+    use spio_trace::{JobReport, Trace};
     use spio_workloads::uniform_patch_particles;
 
     let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
@@ -61,10 +94,13 @@ pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<Bar> {
             continue;
         }
         let storage = MemStorage::new();
+        let trace = Trace::collecting();
+        let t = trace.clone();
         let d = decomp.clone();
         let stats: Vec<WriteStats> = run_threaded_collect(procs, move |comm| {
             let ps = uniform_patch_particles(&d, comm.rank(), per_rank, 42);
             SpatialWriter::new(d.clone(), WriterConfig::new(factor))
+                .with_trace(t.clone())
                 .write(&comm, &ps, &storage.clone())
                 .unwrap()
         })
@@ -72,11 +108,20 @@ pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<Bar> {
         let merged = WriteStats::merge_max(&stats);
         let agg = merged.aggregation_time.as_secs_f64();
         let io = merged.file_io_time.as_secs_f64();
-        out.push(Bar {
-            config: factor,
-            aggregation_fraction: if agg + io > 0.0 { agg / (agg + io) } else { 0.0 },
-            aggregation_secs: agg,
-            file_io_secs: io,
+        let report = JobReport::from_events(procs, &trace.events());
+        out.push(RealBar {
+            bar: Bar {
+                config: factor,
+                aggregation_fraction: if agg + io > 0.0 {
+                    agg / (agg + io)
+                } else {
+                    0.0
+                },
+                aggregation_secs: agg,
+                file_io_secs: io,
+            },
+            trace_aggregation_secs: report.phase_max(phases::AGGREGATION).as_secs_f64(),
+            trace_file_io_secs: report.phase_max(phases::FILE_IO).as_secs_f64(),
         });
     }
     out
@@ -121,16 +166,31 @@ mod tests {
     }
 
     #[test]
+    fn trace_breakdown_agrees_with_write_stats() {
+        // The trace phase spans and WriteStats come from the same clock
+        // reads, so the two derivations of the Fig. 6 split must agree to
+        // well within 5%.
+        for rb in time_breakdown_real(16, 4_000) {
+            assert!(
+                rb.trace_disagreement() <= 0.05,
+                "{}: trace ({:.6}s agg / {:.6}s io) vs stats ({:.6}s / {:.6}s)",
+                rb.bar.config,
+                rb.trace_aggregation_secs,
+                rb.trace_file_io_secs,
+                rb.bar.aggregation_secs,
+                rb.bar.file_io_secs
+            );
+        }
+    }
+
+    #[test]
     fn theta_spends_relatively_more_time_aggregating() {
         // Fig. 6c/d: "on Theta … the aggregation of data over the network
         // is far more expensive than on Mira" for the same configuration.
         for cfg in [(2, 2, 2), (2, 2, 4), (2, 4, 4)] {
             let m = frac(&time_breakdown(&mira(), 32 * 1024), cfg);
             let t = frac(&time_breakdown(&theta(), 32 * 1024), cfg);
-            assert!(
-                t > m,
-                "theta {t:.3} must exceed mira {m:.3} for {cfg:?}"
-            );
+            assert!(t > m, "theta {t:.3} must exceed mira {m:.3} for {cfg:?}");
         }
     }
 }

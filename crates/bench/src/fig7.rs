@@ -159,11 +159,11 @@ mod tests {
         // compared to the SSD based workstation", where the times are
         // "almost comparable".
         let theta_pts = read_scaling(&theta(), &[64]);
-        let t_gap = time_of(&theta_pts, Case::FppWithMeta, 64)
-            / time_of(&theta_pts, Case::AggWithMeta, 64);
+        let t_gap =
+            time_of(&theta_pts, Case::FppWithMeta, 64) / time_of(&theta_pts, Case::AggWithMeta, 64);
         let ws_pts = read_scaling(&workstation(), &[16]);
-        let w_gap = time_of(&ws_pts, Case::FppWithMeta, 16)
-            / time_of(&ws_pts, Case::AggWithMeta, 16);
+        let w_gap =
+            time_of(&ws_pts, Case::FppWithMeta, 16) / time_of(&ws_pts, Case::AggWithMeta, 16);
         assert!(
             t_gap > 1.5,
             "Theta must punish the 64Ki-file layout: gap {t_gap}"

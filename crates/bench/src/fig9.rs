@@ -10,7 +10,9 @@
 //! occupied density cells that the prefix also samples).
 
 use spio_comm::{run_threaded_collect, Comm};
-use spio_core::{DatasetReader, FsStorage, LodOrder, MemStorage, SpatialWriter, Storage, WriterConfig};
+use spio_core::{
+    DatasetReader, FsStorage, LodOrder, MemStorage, SpatialWriter, Storage, WriterConfig,
+};
 use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, PartitionFactor};
 use spio_workloads::{jet_patch_particles, JetSpec};
 
@@ -136,9 +138,8 @@ pub fn lod_quality<S: Storage>(storage: &S, fractions: &[f64]) -> Vec<FidelityPo
                 let bytes = storage
                     .read_range(&entry.file_name(), 0, end)
                     .expect("prefix read");
-                let (_, ps) =
-                    spio_format::data_file::decode_prefix(&bytes, file_take as usize)
-                        .expect("prefix decode");
+                let (_, ps) = spio_format::data_file::decode_prefix(&bytes, file_take as usize)
+                    .expect("prefix decode");
                 prefix.extend(ps);
             }
             let actual_fraction = prefix.len() as f64 / total as f64;
@@ -157,12 +158,7 @@ pub fn lod_quality<S: Storage>(storage: &S, fractions: &[f64]) -> Vec<FidelityPo
 /// Render an x–y density projection of `particles` to a binary PPM (P6)
 /// image — the closest artifact to the paper's Fig. 9 renderings this
 /// repository produces. Uses a perceptually monotone blue→yellow ramp.
-pub fn render_ppm(
-    particles: &[Particle],
-    domain: &Aabb3,
-    width: usize,
-    height: usize,
-) -> Vec<u8> {
+pub fn render_ppm(particles: &[Particle], domain: &Aabb3, width: usize, height: usize) -> Vec<u8> {
     let mut hist = vec![0u32; width * height];
     let e = domain.extent();
     for p in particles {

@@ -19,7 +19,10 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -8,6 +8,15 @@ use crate::thread_comm::ThreadComm;
 use crate::{Comm, Tag};
 use spio_types::Rank;
 
+/// Collective-internal receive. A failed receive here (deadlock timeout)
+/// means the collective schedule itself is broken; panicking is correct —
+/// the job runtime converts rank panics into `SpioError::Comm` after
+/// joining all ranks.
+fn recv_or_die(comm: &ThreadComm, src: Rank, tag: Tag) -> Vec<u8> {
+    comm.recv(src, tag)
+        .unwrap_or_else(|e| panic!("collective receive failed: {e}"))
+}
+
 /// Dissemination barrier: `ceil(log2 n)` rounds, rank `r` signals
 /// `(r + 2^k) mod n` and waits for `(r - 2^k) mod n`.
 pub fn dissemination_barrier(comm: &ThreadComm) {
@@ -23,7 +32,7 @@ pub fn dissemination_barrier(comm: &ThreadComm) {
         let to = (me + dist) % n;
         let from = (me + n - dist % n) % n;
         comm.isend(to, base + round, Vec::new()).wait();
-        comm.recv(from, base + round);
+        recv_or_die(comm, from, base + round);
         dist *= 2;
         round += 1;
     }
@@ -51,7 +60,7 @@ pub fn ring_allgather(comm: &ThreadComm, data: &[u8]) -> Vec<Vec<u8>> {
             .expect("ring invariant: block present before forwarding");
         comm.isend(right, tag, block).wait();
         let incoming_origin = (me + n - s - 1) % n;
-        let received = comm.recv(left, tag);
+        let received = recv_or_die(comm, left, tag);
         blocks[incoming_origin] = Some(received);
     }
     blocks.into_iter().map(Option::unwrap).collect()
@@ -80,7 +89,7 @@ pub fn direct_alltoall(comm: &ThreadComm, mut sends: Vec<Vec<u8>>) -> Vec<Vec<u8
         if src == me {
             received.push(own.clone());
         } else {
-            received.push(comm.recv(src, tag));
+            received.push(recv_or_die(comm, src, tag));
         }
     }
     received
@@ -95,9 +104,9 @@ pub fn gather_to(comm: &ThreadComm, root: Rank, data: &[u8]) -> Option<Vec<Vec<u
     if me == root {
         let mut out = vec![Vec::new(); n];
         out[root] = data.to_vec();
-        for src in 0..n {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = comm.recv(src, tag);
+                *slot = recv_or_die(comm, src, tag);
             }
         }
         Some(out)
@@ -120,7 +129,7 @@ pub fn binomial_broadcast(comm: &ThreadComm, root: Rank, data: Vec<u8>) -> Vec<u
         // Receive from parent: clear the lowest set bit of vrank.
         let parent_v = vrank & (vrank - 1);
         let parent = (parent_v + root) % n;
-        comm.recv(parent, tag)
+        recv_or_die(comm, parent, tag)
     };
     // Forward to children: set each bit above the lowest set bit while the
     // result stays in range.
@@ -161,7 +170,7 @@ pub fn tree_reduce_u64(
     let mut bit = 1;
     while bit < lowest && vrank + bit < n {
         let child = (vrank + bit + root) % n;
-        let b = comm.recv(child, tag);
+        let b = recv_or_die(comm, child, tag);
         let v = u64::from_le_bytes(b.try_into().expect("reduce payload is 8 bytes"));
         acc = op(acc, v);
         bit <<= 1;
@@ -179,7 +188,9 @@ pub fn tree_reduce_u64(
 /// All-reduce of `u64` values: reduce to rank 0, then broadcast.
 pub fn allreduce_u64(comm: &ThreadComm, value: u64, op: fn(u64, u64) -> u64) -> u64 {
     let reduced = tree_reduce_u64(comm, 0, value, op);
-    let payload = reduced.map(|v| v.to_le_bytes().to_vec()).unwrap_or_default();
+    let payload = reduced
+        .map(|v| v.to_le_bytes().to_vec())
+        .unwrap_or_default();
     let bytes = binomial_broadcast(comm, 0, payload);
     u64::from_le_bytes(bytes.try_into().expect("allreduce payload is 8 bytes"))
 }
@@ -206,7 +217,7 @@ pub fn exclusive_scan_u64(comm: &ThreadComm, value: u64) -> u64 {
                 .wait();
         }
         if me >= dist {
-            let b = comm.recv(me - dist, base + round);
+            let b = recv_or_die(comm, me - dist, base + round);
             let v = u64::from_le_bytes(b.try_into().expect("scan payload is 8 bytes"));
             result += v;
             carry += v;
@@ -278,12 +289,8 @@ mod tests {
     #[test]
     fn gather_collects_on_root_only() {
         let results = run_threaded_collect(6, |comm| {
-            comm.gather_to(2, &[comm.rank() as u8]).map(|blocks| {
-                blocks
-                    .into_iter()
-                    .map(|b| b[0])
-                    .collect::<Vec<u8>>()
-            })
+            comm.gather_to(2, &[comm.rank() as u8])
+                .map(|blocks| blocks.into_iter().map(|b| b[0]).collect::<Vec<u8>>())
         })
         .unwrap();
         for (r, res) in results.into_iter().enumerate() {

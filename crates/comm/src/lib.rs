@@ -12,17 +12,23 @@
 //! against the [`Comm`] trait and never learns the difference. Large-scale
 //! *timing* is handled separately by the `hpcsim` crate, which replays the
 //! communication plans produced by `spio-core` against machine models.
+//!
+//! For observability, [`TracedComm`] wraps any [`Comm`] and records every
+//! point-to-point message into a shared [`spio_trace::Trace`], building the
+//! per-`(src, dst, tag)` communication matrix that `spio report` renders.
 
 pub mod collectives;
 pub mod mailbox;
 pub mod runtime;
 pub mod thread_comm;
+pub mod traced;
 
 pub use collectives::{allreduce_u64, exclusive_scan_u64, tree_reduce_u64};
 pub use runtime::{run_threaded, run_threaded_collect};
 pub use thread_comm::ThreadComm;
+pub use traced::TracedComm;
 
-use spio_types::Rank;
+use spio_types::{Rank, SpioError};
 
 /// Message tag. User code may use any value below [`COLLECTIVE_TAG_BASE`];
 /// the collective implementations reserve the upper tag space.
@@ -52,12 +58,16 @@ impl SendHandle {
 
 /// Completion handle for a non-blocking receive posted with [`Comm::irecv`].
 pub struct RecvHandle {
-    pub(crate) wait_fn: Box<dyn FnOnce() -> Vec<u8> + Send>,
+    pub(crate) wait_fn: Box<dyn FnOnce() -> Result<Vec<u8>, SpioError> + Send>,
 }
 
 impl RecvHandle {
     /// Block until the matching message arrives and return its payload.
-    pub fn wait(self) -> Vec<u8> {
+    ///
+    /// Returns [`SpioError::Comm`] if the receive times out (deadlocked
+    /// communication schedule) instead of panicking, so callers can unwind
+    /// their collective participation cleanly.
+    pub fn wait(self) -> Result<Vec<u8>, SpioError> {
         (self.wait_fn)()
     }
 }
@@ -87,7 +97,7 @@ pub trait Comm {
     }
 
     /// Blocking receive (convenience over [`Comm::irecv`]).
-    fn recv(&self, src: Rank, tag: Tag) -> Vec<u8> {
+    fn recv(&self, src: Rank, tag: Tag) -> Result<Vec<u8>, SpioError> {
         self.irecv(src, tag).wait()
     }
 

@@ -1,10 +1,10 @@
 //! Per-rank message mailboxes with MPI-style `(source, tag)` matching.
 
 use crate::Tag;
-use parking_lot::{Condvar, Mutex};
-use spio_types::Rank;
+use spio_types::{Rank, SpioError};
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How long a blocking receive waits before declaring the job deadlocked.
 /// Generous enough for heavily oversubscribed test machines, short enough
@@ -15,9 +15,11 @@ pub const RECV_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(120);
 /// One rank's incoming-message store. Messages from the same `(src, tag)`
 /// are delivered in send order (MPI non-overtaking rule); different keys are
 /// independent.
+type QueueMap = HashMap<(Rank, Tag), VecDeque<Vec<u8>>>;
+
 #[derive(Default)]
 pub struct Mailbox {
-    queues: Mutex<HashMap<(Rank, Tag), VecDeque<Vec<u8>>>>,
+    queues: Mutex<QueueMap>,
     arrived: Condvar,
 }
 
@@ -28,7 +30,7 @@ impl Mailbox {
 
     /// Deposit a message from `src` with `tag`.
     pub fn push(&self, src: Rank, tag: Tag, data: Vec<u8>) {
-        let mut q = self.queues.lock();
+        let mut q = self.queues.lock().unwrap();
         q.entry((src, tag)).or_default().push_back(data);
         self.arrived.notify_all();
     }
@@ -36,31 +38,43 @@ impl Mailbox {
     /// Pop the next message matching `(src, tag)`, blocking until one
     /// arrives.
     ///
-    /// # Panics
-    /// Panics after [`RECV_DEADLOCK_TIMEOUT`] with a diagnostic — a blocked
-    /// receive that long means the communication schedule is wrong, and an
-    /// explicit failure beats a silent hang.
-    pub fn pop_blocking(&self, me: Rank, src: Rank, tag: Tag) -> Vec<u8> {
-        let mut q = self.queues.lock();
+    /// A receive blocked longer than [`RECV_DEADLOCK_TIMEOUT`] means the
+    /// communication schedule is wrong; it surfaces as
+    /// [`SpioError::Comm`] so the calling rank can fail its collective
+    /// cleanly instead of dying and poisoning the whole job.
+    pub fn pop_blocking(&self, me: Rank, src: Rank, tag: Tag) -> Result<Vec<u8>, SpioError> {
+        self.pop_blocking_timeout(me, src, tag, RECV_DEADLOCK_TIMEOUT)
+    }
+
+    /// [`Mailbox::pop_blocking`] with an explicit timeout (tests use short
+    /// ones to exercise the deadlock path quickly).
+    pub fn pop_blocking_timeout(
+        &self,
+        me: Rank,
+        src: Rank,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, SpioError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queues.lock().unwrap();
         loop {
             if let Some(queue) = q.get_mut(&(src, tag)) {
                 if let Some(msg) = queue.pop_front() {
                     if queue.is_empty() {
                         q.remove(&(src, tag));
                     }
-                    return msg;
+                    return Ok(msg);
                 }
             }
-            let timed_out = self
-                .arrived
-                .wait_for(&mut q, RECV_DEADLOCK_TIMEOUT)
-                .timed_out();
-            if timed_out {
-                panic!(
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SpioError::Comm(format!(
                     "rank {me}: receive from rank {src} tag {tag:#x} timed out after \
-                     {RECV_DEADLOCK_TIMEOUT:?} — communication schedule deadlock"
-                );
+                     {timeout:?} — communication schedule deadlock"
+                )));
             }
+            let (guard, _) = self.arrived.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
         }
     }
 
@@ -68,13 +82,19 @@ impl Mailbox {
     pub fn queued(&self, src: Rank, tag: Tag) -> usize {
         self.queues
             .lock()
+            .unwrap()
             .get(&(src, tag))
             .map_or(0, VecDeque::len)
     }
 
     /// Total queued messages (test/diagnostic aid).
     pub fn total_queued(&self) -> usize {
-        self.queues.lock().values().map(VecDeque::len).sum()
+        self.queues
+            .lock()
+            .unwrap()
+            .values()
+            .map(VecDeque::len)
+            .sum()
     }
 }
 
@@ -89,9 +109,9 @@ mod tests {
         mb.push(1, 7, vec![1]);
         mb.push(1, 7, vec![2]);
         mb.push(2, 7, vec![99]);
-        assert_eq!(mb.pop_blocking(0, 1, 7), vec![1]);
-        assert_eq!(mb.pop_blocking(0, 1, 7), vec![2]);
-        assert_eq!(mb.pop_blocking(0, 2, 7), vec![99]);
+        assert_eq!(mb.pop_blocking(0, 1, 7).unwrap(), vec![1]);
+        assert_eq!(mb.pop_blocking(0, 1, 7).unwrap(), vec![2]);
+        assert_eq!(mb.pop_blocking(0, 2, 7).unwrap(), vec![99]);
         assert_eq!(mb.total_queued(), 0);
     }
 
@@ -101,8 +121,8 @@ mod tests {
         mb.push(3, 1, vec![1]);
         mb.push(3, 2, vec![2]);
         // Popping tag 2 first must not disturb tag 1.
-        assert_eq!(mb.pop_blocking(0, 3, 2), vec![2]);
-        assert_eq!(mb.pop_blocking(0, 3, 1), vec![1]);
+        assert_eq!(mb.pop_blocking(0, 3, 2).unwrap(), vec![2]);
+        assert_eq!(mb.pop_blocking(0, 3, 1).unwrap(), vec![1]);
     }
 
     #[test]
@@ -112,7 +132,25 @@ mod tests {
         let t = std::thread::spawn(move || mb2.pop_blocking(0, 5, 9));
         std::thread::sleep(Duration::from_millis(20));
         mb.push(5, 9, vec![42]);
-        assert_eq!(t.join().unwrap(), vec![42]);
+        assert_eq!(t.join().unwrap().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn timeout_surfaces_as_comm_error() {
+        let mb = Mailbox::new();
+        let err = mb
+            .pop_blocking_timeout(3, 1, 0x42, Duration::from_millis(30))
+            .unwrap_err();
+        match err {
+            SpioError::Comm(msg) => {
+                assert!(msg.contains("rank 3"), "{msg}");
+                assert!(msg.contains("deadlock"), "{msg}");
+            }
+            other => panic!("expected Comm error, got {other:?}"),
+        }
+        // The mailbox stays usable after a timed-out receive.
+        mb.push(1, 0x42, vec![5]);
+        assert_eq!(mb.pop_blocking(3, 1, 0x42).unwrap(), vec![5]);
     }
 
     #[test]

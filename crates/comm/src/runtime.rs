@@ -12,7 +12,7 @@ pub fn run_threaded<F>(nprocs: usize, f: F) -> Result<(), SpioError>
 where
     F: Fn(ThreadComm) + Send + Sync + 'static,
 {
-    run_threaded_collect(nprocs, move |comm| f(comm)).map(|_| ())
+    run_threaded_collect(nprocs, f).map(|_| ())
 }
 
 /// Like [`run_threaded`] but collects each rank's return value, indexed by
@@ -107,7 +107,7 @@ mod tests {
             let right = (comm.rank() + 1) % n;
             let left = (comm.rank() + n - 1) % n;
             comm.send(right, 1, vec![comm.rank() as u8]);
-            let got = comm.recv(left, 1);
+            let got = comm.recv(left, 1).unwrap();
             assert_eq!(got, vec![left as u8]);
         })
         .unwrap();

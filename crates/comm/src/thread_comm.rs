@@ -124,10 +124,10 @@ mod tests {
         run_threaded(2, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 5, vec![10, 20, 30]);
-                let back = comm.recv(1, 6);
+                let back = comm.recv(1, 6).unwrap();
                 assert_eq!(back, vec![30, 20, 10]);
             } else {
-                let mut msg = comm.recv(0, 5);
+                let mut msg = comm.recv(0, 5).unwrap();
                 msg.reverse();
                 comm.send(0, 6, msg);
             }
@@ -142,8 +142,8 @@ mod tests {
                 // Post receives in the opposite order of sends.
                 let h2 = comm.irecv(2, 1);
                 let h1 = comm.irecv(1, 1);
-                assert_eq!(h1.wait(), vec![1]);
-                assert_eq!(h2.wait(), vec![2]);
+                assert_eq!(h1.wait().unwrap(), vec![1]);
+                assert_eq!(h2.wait().unwrap(), vec![2]);
             }
             r => comm.send(0, 1, vec![r as u8]),
         })
@@ -159,7 +159,7 @@ mod tests {
                 }
             } else {
                 for i in 0..100u8 {
-                    assert_eq!(comm.recv(0, 3), vec![i]);
+                    assert_eq!(comm.recv(0, 3).unwrap(), vec![i]);
                 }
             }
         })

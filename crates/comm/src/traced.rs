@@ -1,0 +1,164 @@
+//! [`TracedComm`]: a [`Comm`] wrapper that records every point-to-point
+//! message into a shared [`Trace`].
+//!
+//! Each message is recorded twice — once with [`Dir::Sent`] when it is
+//! posted and once with [`Dir::Received`] when the matching receive
+//! completes. The two sides land in the same shared trace buffer, so a job
+//! report can cross-check that every byte sent was received (see
+//! `JobReport::comm_imbalances`).
+//!
+//! Only user-tag traffic is recorded: collectives delegate to the inner
+//! communicator and their internal messages stay out of the matrix. That is
+//! deliberate — the communication matrix answers "who exchanged particles
+//! with whom" for the paper's §3.3 aggregation exchange, which runs entirely
+//! on user tags (`TAG_META`, `TAG_DATA`).
+
+use crate::{Comm, RecvHandle, SendHandle, Tag};
+use spio_trace::{Dir, Trace};
+use spio_types::Rank;
+
+/// A communicator that mirrors every point-to-point message into a
+/// [`Trace`]. With a disabled trace ([`Trace::off`]) every operation is a
+/// plain delegation plus one branch — no allocation, no locking.
+pub struct TracedComm<C: Comm> {
+    inner: C,
+    trace: Trace,
+}
+
+impl<C: Comm> TracedComm<C> {
+    pub fn new(inner: C, trace: Trace) -> Self {
+        TracedComm { inner, trace }
+    }
+
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl<C: Comm> Comm for TracedComm<C> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn isend(&self, dest: Rank, tag: Tag, data: Vec<u8>) -> SendHandle {
+        self.trace
+            .message(self.inner.rank(), dest, tag, data.len() as u64, Dir::Sent);
+        self.inner.isend(dest, tag, data)
+    }
+
+    fn irecv(&self, src: Rank, tag: Tag) -> RecvHandle {
+        let handle = self.inner.irecv(src, tag);
+        if !self.trace.is_enabled() {
+            return handle;
+        }
+        let trace = self.trace.clone();
+        let me = self.inner.rank();
+        RecvHandle {
+            wait_fn: Box::new(move || {
+                let data = handle.wait()?;
+                trace.message(src, me, tag, data.len() as u64, Dir::Received);
+                Ok(data)
+            }),
+        }
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier()
+    }
+
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.inner.allgather(data)
+    }
+
+    fn alltoall(&self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        self.inner.alltoall(sends)
+    }
+
+    fn gather_to(&self, root: Rank, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        self.inner.gather_to(root, data)
+    }
+
+    fn broadcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8> {
+        self.inner.broadcast(root, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_threaded;
+    use spio_trace::TraceEvent;
+
+    #[test]
+    fn records_both_sides_of_a_message() {
+        let trace = Trace::collecting();
+        let t = trace.clone();
+        run_threaded(2, move |comm| {
+            let comm = TracedComm::new(comm, t.clone());
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![0; 96]);
+            } else {
+                let msg = comm.recv(0, 7).unwrap();
+                assert_eq!(msg.len(), 96);
+            }
+        })
+        .unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.contains(&TraceEvent::Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            bytes: 96,
+            dir: Dir::Sent,
+        }));
+        assert!(events.contains(&TraceEvent::Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            bytes: 96,
+            dir: Dir::Received,
+        }));
+    }
+
+    #[test]
+    fn collective_traffic_stays_out_of_the_matrix() {
+        let trace = Trace::collecting();
+        let t = trace.clone();
+        run_threaded(4, move |comm| {
+            let comm = TracedComm::new(comm, t.clone());
+            comm.barrier();
+            let g = comm.allgather(&[comm.rank() as u8]);
+            assert_eq!(g.len(), 4);
+            comm.broadcast(0, vec![1, 2, 3]);
+        })
+        .unwrap();
+        assert!(trace.is_empty(), "collectives must not be traced");
+    }
+
+    #[test]
+    fn disabled_trace_passes_through() {
+        run_threaded(2, |comm| {
+            let comm = TracedComm::new(comm, Trace::off());
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![5]);
+            } else {
+                assert_eq!(comm.recv(0, 1).unwrap(), vec![5]);
+            }
+            assert!(!comm.trace().is_enabled());
+        })
+        .unwrap();
+    }
+}

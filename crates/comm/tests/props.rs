@@ -2,21 +2,17 @@
 //! like their MPI counterparts for arbitrary payload shapes and world
 //! sizes.
 
-use proptest::prelude::*;
 use spio_comm::{run_threaded_collect, Comm};
+use spio_util::check::{cases, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case spawns a world of threads
-        ..ProptestConfig::default()
-    })]
+// Each case spawns a world of threads, so keep the case counts modest.
 
-    #[test]
-    fn allgather_any_block_shapes(
-        n in 1usize..9,
-        sizes in prop::collection::vec(0usize..64, 9),
-        fill in any::<u8>(),
-    ) {
+#[test]
+fn allgather_any_block_shapes() {
+    cases(24, |g: &mut Gen| {
+        let n = g.usize_in(1, 8);
+        let sizes: Vec<usize> = (0..n).map(|_| g.usize_in(0, 63)).collect();
+        let fill = g.u8();
         let sizes2 = sizes.clone();
         let results = run_threaded_collect(n, move |comm| {
             let mine = vec![fill ^ comm.rank() as u8; sizes2[comm.rank()]];
@@ -25,17 +21,18 @@ proptest! {
         .unwrap();
         for gathered in results {
             for (r, block) in gathered.iter().enumerate() {
-                prop_assert_eq!(block.len(), sizes[r]);
-                prop_assert!(block.iter().all(|&b| b == fill ^ r as u8));
+                assert_eq!(block.len(), sizes[r]);
+                assert!(block.iter().all(|&b| b == fill ^ r as u8));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn alltoall_is_a_transpose(
-        n in 1usize..7,
-        seed in any::<u8>(),
-    ) {
+#[test]
+fn alltoall_is_a_transpose() {
+    cases(24, |g: &mut Gen| {
+        let n = g.usize_in(1, 6);
+        let seed = g.u8();
         let results = run_threaded_collect(n, move |comm| {
             let me = comm.rank();
             // Message to d encodes (src, dst, seed) with size (src + d) % 5.
@@ -46,38 +43,42 @@ proptest! {
         })
         .unwrap();
         for (dst, received) in results.into_iter().enumerate() {
-            prop_assert_eq!(received.len(), n);
+            assert_eq!(received.len(), n);
             for (src, msg) in received.into_iter().enumerate() {
-                prop_assert_eq!(msg.len(), (src + dst) % 5);
-                prop_assert!(msg.iter().all(|&b| b == src as u8 ^ dst as u8 ^ seed));
+                assert_eq!(msg.len(), (src + dst) % 5);
+                assert!(msg.iter().all(|&b| b == src as u8 ^ dst as u8 ^ seed));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn broadcast_any_root_any_payload(
-        n in 1usize..9,
-        root_pick in any::<prop::sample::Index>(),
-        payload in prop::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let root = root_pick.index(n);
+#[test]
+fn broadcast_any_root_any_payload() {
+    cases(24, |g: &mut Gen| {
+        let n = g.usize_in(1, 8);
+        let root = g.index(n);
+        let payload = g.bytes(0, 128);
         let p2 = payload.clone();
         let results = run_threaded_collect(n, move |comm| {
-            let data = if comm.rank() == root { p2.clone() } else { vec![] };
+            let data = if comm.rank() == root {
+                p2.clone()
+            } else {
+                vec![]
+            };
             comm.broadcast(root, data)
         })
         .unwrap();
         for r in results {
-            prop_assert_eq!(&r, &payload);
+            assert_eq!(r, payload);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gather_matches_contributions(
-        n in 1usize..8,
-        root_pick in any::<prop::sample::Index>(),
-    ) {
-        let root = root_pick.index(n);
+#[test]
+fn gather_matches_contributions() {
+    cases(24, |g: &mut Gen| {
+        let n = g.usize_in(1, 7);
+        let root = g.index(n);
         let results = run_threaded_collect(n, move |comm| {
             comm.gather_to(root, &[comm.rank() as u8, 0xAB])
         })
@@ -86,29 +87,30 @@ proptest! {
             if r == root {
                 let blocks = res.unwrap();
                 for (src, b) in blocks.into_iter().enumerate() {
-                    prop_assert_eq!(b, vec![src as u8, 0xAB]);
+                    assert_eq!(b, vec![src as u8, 0xAB]);
                 }
             } else {
-                prop_assert!(res.is_none());
+                assert!(res.is_none());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn point_to_point_preserves_arbitrary_bytes(
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-        tag in 0u32..1000,
-    ) {
+#[test]
+fn point_to_point_preserves_arbitrary_bytes() {
+    cases(24, |g: &mut Gen| {
+        let payload = g.bytes(0, 512);
+        let tag = g.u32_in(0, 999);
         let p2 = payload.clone();
         let results = run_threaded_collect(2, move |comm| {
             if comm.rank() == 0 {
                 comm.send(1, tag, p2.clone());
                 Vec::new()
             } else {
-                comm.recv(0, tag)
+                comm.recv(0, tag).unwrap()
             }
         })
         .unwrap();
-        prop_assert_eq!(&results[1], &payload);
-    }
+        assert_eq!(results[1], payload);
+    });
 }

@@ -1,0 +1,47 @@
+//! Property test: the traced communication matrix is a double-entry ledger —
+//! for random message plans, every byte recorded as sent is also recorded as
+//! received, per `(src, dst, tag)` cell.
+
+use spio_comm::{run_threaded, Comm, TracedComm};
+use spio_trace::{JobReport, Trace};
+use spio_util::check::{cases, Gen};
+
+#[test]
+fn comm_matrix_conserves_bytes() {
+    cases(16, |g: &mut Gen| {
+        let n = g.usize_in(2, 6);
+        // A random global message plan. Every rank knows the whole plan, so
+        // receivers can post matching receives in plan order (the mailbox's
+        // non-overtaking rule keeps same-(src,tag) messages matched up).
+        let plan: Vec<(usize, usize, u32, usize)> = (0..g.usize_in(1, 24))
+            .map(|_| (g.index(n), g.index(n), g.u32_in(0, 7), g.usize_in(0, 256)))
+            .collect();
+        let trace = Trace::collecting();
+        let t = trace.clone();
+        let plan2 = plan.clone();
+        run_threaded(n, move |comm| {
+            let comm = TracedComm::new(comm, t.clone());
+            for &(src, dst, tag, len) in &plan2 {
+                if comm.rank() == src {
+                    comm.send(dst, tag, vec![0xC3; len]);
+                }
+            }
+            for &(src, dst, tag, len) in &plan2 {
+                if comm.rank() == dst {
+                    assert_eq!(comm.recv(src, tag).unwrap().len(), len);
+                }
+            }
+        })
+        .unwrap();
+
+        let report = JobReport::from_events(n, &trace.events());
+        assert!(
+            report.comm_imbalances().is_empty(),
+            "sent/received mismatch for plan {plan:?}"
+        );
+        let expected: u64 = plan.iter().map(|&(_, _, _, len)| len as u64).sum();
+        assert_eq!(report.total_bytes_sent(), expected);
+        let msgs: u64 = report.comm.iter().map(|c| c.msgs_sent).sum();
+        assert_eq!(msgs, plan.len() as u64);
+    });
+}

@@ -120,9 +120,7 @@ impl AggregationGrid {
             }
             // Spatial bounds: lo corner of the first patch, hi corner of the
             // last patch.
-            let lo_box = decomp
-                .bounds
-                .cell(patch_dims, lo_patch);
+            let lo_box = decomp.bounds.cell(patch_dims, lo_patch);
             let hi_box = decomp.bounds.cell(
                 patch_dims,
                 [hi_patch[0] - 1, hi_patch[1] - 1, hi_patch[2] - 1],
@@ -255,10 +253,7 @@ impl AggregationGrid {
     /// Linear partition index containing point `p`, or `None` if `p` is
     /// outside the gridded region.
     pub fn partition_of_point(&self, p: [f64; 3]) -> Option<usize> {
-        let patch = self
-            .decomp
-            .bounds
-            .cell_of(self.decomp.dims.as_array(), p);
+        let patch = self.decomp.bounds.cell_of(self.decomp.dims.as_array(), p);
         self.partition_of_patch(patch)
     }
 
@@ -375,7 +370,10 @@ mod tests {
         assert_eq!(g.file_count(), 16);
         // Every rank aggregates its own patch.
         for r in 0..16 {
-            assert_eq!(g.partitions[g.partition_of_rank(r).unwrap()].members, vec![r]);
+            assert_eq!(
+                g.partitions[g.partition_of_rank(r).unwrap()].members,
+                vec![r]
+            );
         }
         // Uniform selection over 16 ranks and 16 partitions: identity.
         assert_eq!(g.aggregator_ranks(), (0..16).collect::<Vec<_>>());
@@ -391,13 +389,15 @@ mod tests {
 
     #[test]
     fn members_partition_rank_space() {
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 4, 4),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 4));
         let g = AggregationGrid::aligned(&d, PartitionFactor::new(2, 2, 4)).unwrap();
         assert_eq!(g.file_count(), 4);
-        let mut all: Vec<Rank> = g.partitions.iter().flat_map(|p| p.members.clone()).collect();
+        let mut all: Vec<Rank> = g
+            .partitions
+            .iter()
+            .flat_map(|p| p.members.clone())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..64).collect::<Vec<_>>());
         g.validate().unwrap();
@@ -405,10 +405,8 @@ mod tests {
 
     #[test]
     fn partition_lookup_consistency() {
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 2, 2),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 2));
         let g = AggregationGrid::aligned(&d, PartitionFactor::new(2, 2, 1)).unwrap();
         for r in 0..d.nprocs() {
             let part = g.partition_of_rank(r).unwrap();
@@ -421,20 +419,14 @@ mod tests {
 
     #[test]
     fn ragged_process_grid_rounds_up() {
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(5, 4, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(5, 4, 1));
         let g = AggregationGrid::aligned(&d, PartitionFactor::new(2, 2, 1)).unwrap();
         // ceil(5/2) * ceil(4/2) = 3 * 2 = 6 partitions.
         assert_eq!(g.file_count(), 6);
         g.validate().unwrap();
         // The ragged partitions at x-edge hold 1×2 patches.
-        let edge = g
-            .partitions
-            .iter()
-            .find(|p| p.index == [2, 0, 0])
-            .unwrap();
+        let edge = g.partitions.iter().find(|p| p.index == [2, 0, 0]).unwrap();
         assert_eq!(edge.members.len(), 2);
         // Bounds still tile: total member count = 20.
         let total: usize = g.partitions.iter().map(|p| p.members.len()).sum();
@@ -445,9 +437,14 @@ mod tests {
     fn sub_region_grid_excludes_outside_ranks() {
         let d = decomp_4x4();
         // Grid only over the left half (x patches 0..2).
-        let g =
-            AggregationGrid::over_region(&d, PartitionFactor::new(2, 2, 1), [0, 0, 0], [2, 4, 1], 16)
-                .unwrap();
+        let g = AggregationGrid::over_region(
+            &d,
+            PartitionFactor::new(2, 2, 1),
+            [0, 0, 0],
+            [2, 4, 1],
+            16,
+        )
+        .unwrap();
         assert_eq!(g.file_count(), 2);
         // A rank in the right half is outside.
         let right = d.rank_of([3, 0, 0]);
@@ -489,10 +486,7 @@ mod tests {
     fn irregular_grid_from_rects() {
         let d = decomp_4x4();
         // Two uneven rectangles: left quarter and the rest.
-        let rects = [
-            ([0, 0, 0], [1, 4, 1]),
-            ([1, 0, 0], [4, 4, 1]),
-        ];
+        let rects = [([0, 0, 0], [1, 4, 1]), ([1, 0, 0], [4, 4, 1])];
         let g = AggregationGrid::from_patch_rects(&d, PartitionFactor::new(1, 1, 1), &rects, 16)
             .unwrap();
         assert!(!g.regular);
@@ -512,13 +506,9 @@ mod tests {
     #[test]
     fn irregular_grid_rejects_bad_rects() {
         let d = decomp_4x4();
-        assert!(AggregationGrid::from_patch_rects(
-            &d,
-            PartitionFactor::new(1, 1, 1),
-            &[],
-            16
-        )
-        .is_err());
+        assert!(
+            AggregationGrid::from_patch_rects(&d, PartitionFactor::new(1, 1, 1), &[], 16).is_err()
+        );
         assert!(AggregationGrid::from_patch_rects(
             &d,
             PartitionFactor::new(1, 1, 1),
@@ -546,8 +536,7 @@ mod tests {
 
     #[test]
     fn partition_local_placement() {
-        let mut g =
-            AggregationGrid::aligned(&decomp_4x4(), PartitionFactor::new(2, 2, 1)).unwrap();
+        let mut g = AggregationGrid::aligned(&decomp_4x4(), PartitionFactor::new(2, 2, 1)).unwrap();
         g.use_partition_local_aggregators();
         // First member of each 2x2 block: ranks 0, 2, 8, 10.
         assert_eq!(g.aggregator_ranks(), vec![0, 2, 8, 10]);

@@ -36,6 +36,6 @@ pub use plan::{ReadPlan, WritePlan};
 pub use reader::{BoxQueryReader, DatasetReader, LodCursor, LodReader, RestartReader};
 pub use shuffle::LodOrder;
 pub use stats::{ReadStats, WriteStats};
-pub use storage::{FsStorage, MemStorage, Storage};
+pub use storage::{FsStorage, MemStorage, Storage, TracedStorage};
 pub use timeseries::{open_timestep, PrefixedStorage, SeriesManifest, SeriesWriter};
 pub use writer::{SpatialWriter, WriteMode, WriterConfig};

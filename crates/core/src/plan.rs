@@ -132,7 +132,11 @@ pub fn plan_write_on_grid(
                 total += c;
             }
         }
-        group_sizes.push(if adaptive { senders } else { part.members.len() });
+        group_sizes.push(if adaptive {
+            senders
+        } else {
+            part.members.len()
+        });
         shuffle_particles.push(total);
         file_writes.push(FileWriteRec {
             rank: part.agg_rank,
@@ -225,7 +229,7 @@ pub fn plan_box_read(shape: &DatasetShape, nreaders: usize, with_metadata: bool)
     let dims = GridDims::near_cubic(nreaders);
     let mut per_reader = vec![ReaderOps::default(); nreaders];
     let mut reads = Vec::new();
-    for rank in 0..nreaders {
+    for (rank, reader) in per_reader.iter_mut().enumerate() {
         let query = shape.domain.cell(dims.as_array(), dims.delinearize(rank));
         for (file, (bounds, count)) in shape.files.iter().enumerate() {
             let touch = if with_metadata {
@@ -235,8 +239,8 @@ pub fn plan_box_read(shape: &DatasetShape, nreaders: usize, with_metadata: bool)
             };
             if touch {
                 let bytes = HEADER_BYTES as u64 + count * PARTICLE_BYTES as u64;
-                per_reader[rank].opens += 1;
-                per_reader[rank].bytes += bytes;
+                reader.opens += 1;
+                reader.bytes += bytes;
                 reads.push(FileReadRec { rank, file, bytes });
             }
         }
@@ -266,7 +270,11 @@ pub fn plan_lod_read(shape: &DatasetShape, nreaders: usize, level: u32) -> ReadP
         let bytes = target * PARTICLE_BYTES as u64;
         per_reader[rank].opens += 1;
         per_reader[rank].bytes += bytes;
-        reads.push(FileReadRec { rank, file: i, bytes });
+        reads.push(FileReadRec {
+            rank,
+            file: i,
+            bytes,
+        });
     }
     ReadPlan {
         nreaders,
@@ -280,10 +288,7 @@ mod tests {
     use super::*;
 
     fn decomp(nx: usize, ny: usize, nz: usize) -> DomainDecomposition {
-        DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(nx, ny, nz),
-        )
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(nx, ny, nz))
     }
 
     #[test]

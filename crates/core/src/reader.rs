@@ -14,13 +14,25 @@ use crate::storage::Storage;
 use spio_comm::Comm;
 use spio_format::data_file::{decode_data_file, payload_range};
 use spio_format::{LodParams, SpatialMetadata, META_FILE_NAME};
-use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, SpioError};
+use spio_trace::Trace;
+use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, Rank, SpioError};
 use std::time::Instant;
+
+/// Phase-span names the read path records into an attached [`Trace`].
+pub mod phases {
+    pub const META: &str = "read:meta";
+    pub const BOX: &str = "read:box";
+    pub const SCAN: &str = "read:scan";
+    pub const RANGE: &str = "read:range";
+    pub const LOD: &str = "read:lod";
+}
 
 /// A handle to a written dataset: the parsed spatial metadata.
 #[derive(Debug, Clone)]
 pub struct DatasetReader {
     pub meta: SpatialMetadata,
+    trace: Trace,
+    rank: Rank,
 }
 
 impl DatasetReader {
@@ -30,6 +42,26 @@ impl DatasetReader {
         let bytes = storage.read_file(META_FILE_NAME)?;
         Ok(DatasetReader {
             meta: SpatialMetadata::decode(&bytes)?,
+            trace: Trace::off(),
+            rank: 0,
+        })
+    }
+
+    /// Like [`DatasetReader::open`], but records read-phase spans
+    /// ([`phases`]) into `trace` attributed to `rank` — including a
+    /// `read:meta` span for the metadata fetch itself.
+    pub fn open_traced<S: Storage>(
+        storage: &S,
+        trace: Trace,
+        rank: Rank,
+    ) -> Result<Self, SpioError> {
+        let t0 = Instant::now();
+        let reader = Self::open(storage)?;
+        trace.phase(rank, phases::META, t0.elapsed());
+        Ok(DatasetReader {
+            trace,
+            rank,
+            ..reader
         })
     }
 
@@ -61,6 +93,7 @@ impl DatasetReader {
         }
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
+        self.trace.phase(self.rank, phases::BOX, stats.time);
         Ok((out, stats))
     }
 
@@ -88,6 +121,7 @@ impl DatasetReader {
         }
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
+        self.trace.phase(self.rank, phases::SCAN, stats.time);
         Ok((out, stats))
     }
 
@@ -106,7 +140,10 @@ impl DatasetReader {
         let t0 = Instant::now();
         let mut stats = ReadStats::default();
         let mut out = Vec::new();
-        for idx in self.meta.files_for_range_query(query, density_lo, density_hi) {
+        for idx in self
+            .meta
+            .files_for_range_query(query, density_lo, density_hi)
+        {
             let entry = &self.meta.entries[idx];
             let bytes = storage.read_file(&entry.file_name())?;
             stats.files_opened += 1;
@@ -115,14 +152,13 @@ impl DatasetReader {
             let decoded = particles.len();
             let before = out.len();
             out.extend(particles.into_iter().filter(|p| {
-                query.contains(p.position)
-                    && p.density >= density_lo
-                    && p.density <= density_hi
+                query.contains(p.position) && p.density >= density_lo && p.density <= density_hi
             }));
             stats.particles_discarded += (decoded - (out.len() - before)) as u64;
         }
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
+        self.trace.phase(self.rank, phases::RANGE, stats.time);
         Ok((out, stats))
     }
 
@@ -210,6 +246,8 @@ pub struct LodCursor {
     /// Number of reader processes `n` in the LOD formula.
     nreaders: u64,
     next_level: u32,
+    trace: Trace,
+    rank: Rank,
 }
 
 struct LodFile {
@@ -239,7 +277,17 @@ impl LodCursor {
             lod: meta.lod,
             nreaders: nreaders as u64,
             next_level: 0,
+            trace: Trace::off(),
+            rank: 0,
         }
+    }
+
+    /// Record a `read:lod` phase span per level read into `trace`,
+    /// attributed to `rank`.
+    pub fn with_trace(mut self, trace: Trace, rank: Rank) -> Self {
+        self.trace = trace;
+        self.rank = rank;
+        self
     }
 
     /// Round-robin assignment of files to a reader: reader `rank` of
@@ -316,9 +364,9 @@ impl LodCursor {
             stats.time = t0.elapsed();
             return Ok((out, stats));
         }
-        let global_prefix =
-            self.lod
-                .prefix_len(self.nreaders, self.next_level, self.dataset_total);
+        let global_prefix = self
+            .lod
+            .prefix_len(self.nreaders, self.next_level, self.dataset_total);
         for f in &mut self.files {
             let target = LodParams::file_prefix(f.total, self.dataset_total, global_prefix);
             if target > f.read_so_far {
@@ -333,6 +381,7 @@ impl LodCursor {
         self.next_level += 1;
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
+        self.trace.phase(self.rank, phases::LOD, stats.time);
         Ok((out, stats))
     }
 
@@ -363,7 +412,7 @@ impl DatasetReader {
     /// prefix bytes.
     pub fn lod_box_cursor(&self, query: &Aabb3, nreaders: usize) -> LodCursor {
         let files = self.meta.files_intersecting(query);
-        LodCursor::new(&self.meta, &files, nreaders)
+        LodCursor::new(&self.meta, &files, nreaders).with_trace(self.trace.clone(), self.rank)
     }
 }
 
@@ -397,10 +446,8 @@ mod tests {
     fn build_dataset(per_rank: usize) -> MemStorage {
         let storage = MemStorage::new();
         let s2 = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 4, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 1));
         run_threaded_collect(16, move |comm| {
             let b = d.patch_bounds(comm.rank());
             let e = b.extent();
@@ -414,10 +461,8 @@ mod tests {
                     )
                 })
                 .collect();
-            let writer = SpatialWriter::new(
-                d.clone(),
-                WriterConfig::new(PartitionFactor::new(2, 2, 1)),
-            );
+            let writer =
+                SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)));
             writer.write(&comm, &particles, &s2).unwrap();
         })
         .unwrap();
@@ -532,7 +577,7 @@ mod tests {
         let indices: Vec<usize> = (0..r.meta.entries.len()).collect();
         let mut cursor = LodCursor::new(&r.meta, &indices, 1);
         let (ps, _) = cursor.read_through_level(&storage, 1).unwrap(); // ~96 particles
-        // All four quadrants must be represented.
+                                                                       // All four quadrants must be represented.
         for (qx, qy) in [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)] {
             let q = Aabb3::new([qx, qy, 0.0], [qx + 0.5, qy + 0.5, 1.0]);
             assert!(
@@ -625,20 +670,14 @@ mod tests {
         // A 16-file dataset: file-per-process layout of a 4×4×1 grid.
         let storage = MemStorage::new();
         let s2 = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(4, 4, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 1));
         run_threaded_collect(16, move |comm| {
             let b = d.patch_bounds(comm.rank());
             let ps: Vec<Particle> = (0..20)
                 .map(|i| {
                     Particle::synthetic(
-                        [
-                            b.lo[0] + 0.01 + (i as f64) * 0.01,
-                            b.center()[1],
-                            0.5,
-                        ],
+                        [b.lo[0] + 0.01 + (i as f64) * 0.01, b.center()[1], 0.5],
                         ((comm.rank() as u64) << 32) | i,
                     )
                 })

@@ -8,11 +8,8 @@
 //! the layout is reproducible and the permutation can be reconstructed from
 //! the seed recorded in the data-file header.
 
-use rand::seq::SliceRandom;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use spio_types::{Aabb3, Particle};
+use spio_util::Rng;
 
 /// Which reordering heuristic produced a file's LOD layout (§3.4: "the
 /// order of particles used to create the levels of detail can be defined
@@ -41,35 +38,63 @@ pub fn partition_seed(dataset_seed: u64, partition: usize) -> u64 {
 
 /// Shuffle `particles` in place with the given seed (Fisher–Yates).
 pub fn lod_shuffle(particles: &mut [Particle], seed: u64) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    particles.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(particles);
+}
+
+/// Slot key for [`lod_shuffle_parallel`]: splitmix64 avalanche of
+/// `(seed, index)`.
+fn slot_key(seed: u64, i: usize) -> u64 {
+    let mut z = seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Parallel variant of [`lod_shuffle`]: assigns each slot a deterministic
-/// 64-bit key derived from `(seed, index)` and sorts by it with rayon.
-/// Produces a uniform permutation (keys collide with negligible
-/// probability; ties break by original index, keeping the result
-/// deterministic) — the parallelization §3.4 leaves as future work.
+/// 64-bit key derived from `(seed, index)` and sorts by it. Produces a
+/// uniform permutation (keys collide with negligible probability; ties
+/// break by original index, keeping the result deterministic) — the
+/// parallelization §3.4 leaves as future work. Key derivation runs on
+/// scoped threads; the sort itself is the comparison-dominated tail.
 ///
 /// Note: for a given seed this is a *different* permutation than the
 /// serial Fisher–Yates; files record which ordering produced them via the
 /// header flags.
-pub fn lod_shuffle_parallel(particles: &mut Vec<Particle>, seed: u64) {
-    let mut keyed: Vec<(u64, u32, Particle)> = particles
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let mut z = seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            (z ^ (z >> 31), i as u32, *p)
-        })
-        .collect();
-    keyed.par_sort_unstable_by_key(|&(k, i, _)| (k, i));
-    particles
-        .par_iter_mut()
-        .zip(keyed.into_par_iter())
-        .for_each(|(slot, (_, _, p))| *slot = p);
+pub fn lod_shuffle_parallel(particles: &mut [Particle], seed: u64) {
+    let n = particles.len();
+    if n < 2 {
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let chunk = n.div_ceil(threads);
+    let mut keyed: Vec<(u64, u32, Particle)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = particles
+            .chunks(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                s.spawn(move || {
+                    let base = c * chunk;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, p)| (slot_key(seed, base + j), (base + j) as u32, *p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            keyed.extend(h.join().expect("shuffle key thread panicked"));
+        }
+    });
+    keyed.sort_unstable_by_key(|&(k, i, _)| (k, i));
+    for (slot, (_, _, p)) in particles.iter_mut().zip(keyed) {
+        *slot = p;
+    }
 }
 
 /// Stratified LOD ordering: bin particles into a `cells³` grid over
@@ -92,8 +117,8 @@ pub fn lod_stratify(particles: &mut [Particle], bounds: &Aabb3, seed: u64) {
         bins[c[0] + cells * (c[1] + cells * c[2])].push(*p);
     }
     for (i, bin) in bins.iter_mut().enumerate() {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-        bin.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        rng.shuffle(bin);
     }
     // Round-robin drain: one particle per non-empty cell per round.
     let mut cursors = vec![0usize; ncells];
@@ -114,8 +139,8 @@ pub fn lod_stratify(particles: &mut [Particle], bounds: &Aabb3, seed: u64) {
 /// this to check a file's layout against its header seed.
 pub fn shuffle_permutation(len: usize, seed: u64) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..len).collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    perm.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut perm);
     perm
 }
 
@@ -223,7 +248,7 @@ mod tests {
             .map(|i| {
                 let group = i % 8;
                 let x = group as f64 / 8.0 + (i / 8) as f64 / (n as f64);
-                Particle::synthetic([x.min(0.999), 0.5, 0.5], i as u64)
+                Particle::synthetic([x.min(0.999), 0.5, 0.5], i)
             })
             .collect();
         let bounds = Aabb3::new([0.0; 3], [1.0; 3]);
@@ -239,7 +264,9 @@ mod tests {
         for g in 0..8 {
             let lo = g as f64 / 8.0;
             assert!(
-                prefix.iter().any(|p| p.position[0] >= lo && p.position[0] < lo + 0.125),
+                prefix
+                    .iter()
+                    .any(|p| p.position[0] >= lo && p.position[0] < lo + 0.125),
                 "slab {g} unsampled by stratified prefix"
             );
         }

@@ -31,7 +31,11 @@ pub struct WriteStats {
 impl WriteStats {
     /// Total wall time of the phases this rank measured.
     pub fn total_time(&self) -> Duration {
-        self.setup_time + self.aggregation_time + self.shuffle_time + self.file_io_time + self.meta_time
+        self.setup_time
+            + self.aggregation_time
+            + self.shuffle_time
+            + self.file_io_time
+            + self.meta_time
     }
 
     /// Fraction of measured time spent in aggregation (communication) —

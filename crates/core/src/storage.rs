@@ -4,15 +4,18 @@
 //! code runs against a real filesystem ([`FsStorage`]) and an in-memory
 //! store ([`MemStorage`]) used by tests and by the property suite, while the
 //! `hpcsim` crate models storage timing separately from these functional
-//! backends.
+//! backends. [`TracedStorage`] wraps any backend and emits Darshan-style
+//! per-operation records (op, file, bytes, duration) into a
+//! [`spio_trace::Trace`].
 
-use parking_lot::RwLock;
+use spio_trace::Trace;
 use spio_types::SpioError;
 use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// A flat namespace of immutable files, written once and read many times —
 /// all the paper's format needs.
@@ -113,6 +116,7 @@ impl Storage for FsStorage {
         let mut f = fs::OpenOptions::new()
             .write(true)
             .create(true)
+            .truncate(false)
             .open(self.path(name))?;
         f.seek(SeekFrom::Start(offset))?;
         f.write_all(data)?;
@@ -133,14 +137,19 @@ impl MemStorage {
 
     /// Names of all stored files (sorted, for deterministic assertions).
     pub fn file_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.files.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.files.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Total bytes across all files.
     pub fn total_bytes(&self) -> u64 {
-        self.files.read().values().map(|v| v.len() as u64).sum()
+        self.files
+            .read()
+            .unwrap()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
     }
 }
 
@@ -148,6 +157,7 @@ impl Storage for MemStorage {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
         self.files
             .write()
+            .unwrap()
             .insert(name.to_string(), Arc::new(data.to_vec()));
         Ok(())
     }
@@ -155,6 +165,7 @@ impl Storage for MemStorage {
     fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
         self.files
             .read()
+            .unwrap()
             .get(name)
             .map(|v| v.as_ref().clone())
             .ok_or_else(|| SpioError::NotFound(name.to_string()))
@@ -162,7 +173,7 @@ impl Storage for MemStorage {
 
     fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
         debug_assert!(start <= end);
-        let files = self.files.read();
+        let files = self.files.read().unwrap();
         let data = files
             .get(name)
             .ok_or_else(|| SpioError::NotFound(name.to_string()))?;
@@ -178,17 +189,18 @@ impl Storage for MemStorage {
     fn file_size(&self, name: &str) -> Result<u64, SpioError> {
         self.files
             .read()
+            .unwrap()
             .get(name)
             .map(|v| v.len() as u64)
             .ok_or_else(|| SpioError::NotFound(name.to_string()))
     }
 
     fn exists(&self, name: &str) -> bool {
-        self.files.read().contains_key(name)
+        self.files.read().unwrap().contains_key(name)
     }
 
     fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
-        let mut files = self.files.write();
+        let mut files = self.files.write().unwrap();
         let entry = files.entry(name.to_string()).or_default();
         let buf = Arc::make_mut(entry);
         let end = offset as usize + data.len();
@@ -197,6 +209,112 @@ impl Storage for MemStorage {
         }
         buf[offset as usize..end].copy_from_slice(data);
         Ok(())
+    }
+}
+
+/// A [`Storage`] wrapper that emits one Darshan-style record per operation
+/// (op kind, file name, payload bytes, wall duration) into a [`Trace`].
+///
+/// With a disabled trace every method is a plain delegation behind one
+/// branch — no clock reads, no allocation — so production code can keep a
+/// `TracedStorage` in place permanently and pay only when a job opts in.
+#[derive(Debug, Clone)]
+pub struct TracedStorage<S: Storage> {
+    inner: S,
+    trace: Trace,
+    rank: usize,
+}
+
+impl<S: Storage> TracedStorage<S> {
+    /// Wrap `inner`, attributing recorded ops to `rank`.
+    pub fn new(inner: S, trace: Trace, rank: usize) -> Self {
+        TracedStorage { inner, trace, rank }
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl<S: Storage> Storage for TracedStorage<S> {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+        if !self.trace.is_enabled() {
+            return self.inner.write_file(name, data);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.write_file(name, data);
+        self.trace.storage_op(
+            self.rank,
+            "write_file",
+            name,
+            data.len() as u64,
+            t0.elapsed(),
+        );
+        r
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+        if !self.trace.is_enabled() {
+            return self.inner.read_file(name);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.read_file(name);
+        let bytes = r.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        self.trace
+            .storage_op(self.rank, "read_file", name, bytes, t0.elapsed());
+        r
+    }
+
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
+        if !self.trace.is_enabled() {
+            return self.inner.read_range(name, start, end);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.read_range(name, start, end);
+        let bytes = r.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        self.trace
+            .storage_op(self.rank, "read_range", name, bytes, t0.elapsed());
+        r
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+        if !self.trace.is_enabled() {
+            return self.inner.file_size(name);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.file_size(name);
+        self.trace
+            .storage_op(self.rank, "file_size", name, 0, t0.elapsed());
+        r
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        // Existence probes are metadata noise; not recorded.
+        self.inner.exists(name)
+    }
+
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
+        if !self.trace.is_enabled() {
+            return self.inner.write_range(name, offset, data);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.write_range(name, offset, data);
+        self.trace.storage_op(
+            self.rank,
+            "write_range",
+            name,
+            data.len() as u64,
+            t0.elapsed(),
+        );
+        r
     }
 }
 
@@ -234,8 +352,47 @@ mod tests {
 
     #[test]
     fn fs_storage_contract() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = spio_util::tempdir().unwrap();
         exercise(&FsStorage::new(dir.path()));
+    }
+
+    #[test]
+    fn traced_storage_contract_and_records() {
+        let trace = Trace::collecting();
+        let storage = TracedStorage::new(MemStorage::new(), trace.clone(), 3);
+        exercise(&storage);
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Every record carries the configured rank and a known op name.
+        for e in &events {
+            match e {
+                spio_trace::TraceEvent::StorageOp { rank, op, .. } => {
+                    assert_eq!(*rank, 3);
+                    assert!(matches!(
+                        *op,
+                        "write_file" | "read_file" | "read_range" | "file_size" | "write_range"
+                    ));
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // The first exercise step wrote 5 bytes to a.bin.
+        assert!(matches!(
+            &events[0],
+            spio_trace::TraceEvent::StorageOp {
+                op: "write_file",
+                bytes: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn traced_storage_disabled_records_nothing() {
+        let trace = Trace::off();
+        let storage = TracedStorage::new(MemStorage::new(), trace.clone(), 0);
+        exercise(&storage);
+        assert!(trace.is_empty());
     }
 
     #[test]
@@ -250,7 +407,7 @@ mod tests {
 
     #[test]
     fn fs_storage_nested_root_created() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = spio_util::tempdir().unwrap();
         let nested = dir.path().join("a/b/c");
         let s = FsStorage::new(&nested);
         s.write_file("f", &[1]).unwrap();

@@ -179,11 +179,7 @@ mod tests {
             .map(|i| {
                 let t = (i as f64 + 0.5) / n as f64;
                 Particle::synthetic(
-                    [
-                        b.lo[0] + t * (b.hi[0] - b.lo[0]) * 0.99,
-                        b.center()[1],
-                        0.5,
-                    ],
+                    [b.lo[0] + t * (b.hi[0] - b.lo[0]) * 0.99, b.center()[1], 0.5],
                     (step << 40) | ((rank as u64) << 32) | i as u64,
                 )
             })

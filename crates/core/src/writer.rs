@@ -12,7 +12,18 @@
 //! 6. reshuffle each aggregated buffer into level-of-detail order (§3.4);
 //! 7. write one data file per partition (§3.4);
 //! 8. gather per-file bounding boxes and write the spatial metadata file on
-//!    rank 0 (§3.5).
+//!    rank 0 (§3.5), then broadcast the outcome so no rank reports success
+//!    for a dataset whose metadata never landed.
+//!
+//! Sends follow the MPI structure the paper assumes: each exchange posts
+//! *all* of its non-blocking sends first and only then waits on the batch,
+//! so a real-MPI port gets genuine send/receive overlap instead of
+//! serialized rendezvous.
+//!
+//! When a [`spio_trace::Trace`] is attached ([`SpatialWriter::with_trace`]),
+//! the writer records one phase span per step from the *same* clock
+//! measurements that feed [`WriteStats`], so trace-derived breakdowns agree
+//! with the stats by construction.
 
 use crate::adaptive::AdaptiveGrid;
 use crate::grid::AggregationGrid;
@@ -23,6 +34,7 @@ use spio_comm::{Comm, Tag};
 use spio_format::data_file::{encode_data_file, DataFileHeader};
 use spio_format::meta::AttrRange;
 use spio_format::{data_file_name, FileEntry, LodParams, SpatialMetadata, META_FILE_NAME};
+use spio_trace::Trace;
 use spio_types::{Aabb3, DomainDecomposition, Particle, Rank, SpioError};
 use std::time::Instant;
 
@@ -34,6 +46,17 @@ pub mod flags {
     pub const STRATIFIED_ORDER: u32 = 1;
     /// Payload was permuted by the keyed parallel shuffle, not Fisher–Yates.
     pub const KEYED_SHUFFLE: u32 = 2;
+}
+
+/// Phase-span names the writer records into an attached [`Trace`]. One
+/// name per [`WriteStats`] duration field, so report consumers can
+/// cross-check the two.
+pub mod phases {
+    pub const SETUP: &str = "setup";
+    pub const AGGREGATION: &str = "aggregation";
+    pub const SHUFFLE: &str = "shuffle";
+    pub const FILE_IO: &str = "file_io";
+    pub const META: &str = "meta";
 }
 
 /// Tag used for count metadata messages.
@@ -76,7 +99,7 @@ pub struct WriterConfig {
     pub balanced: bool,
     /// LOD reordering heuristic (§3.4: random or stratified).
     pub lod_order: LodOrder,
-    /// Use the rayon-parallel keyed shuffle instead of serial Fisher–Yates
+    /// Use the threaded keyed shuffle instead of serial Fisher–Yates
     /// (only meaningful for [`LodOrder::Random`]).
     pub parallel_shuffle: bool,
 }
@@ -144,11 +167,24 @@ impl WriterConfig {
 pub struct SpatialWriter {
     decomp: DomainDecomposition,
     config: WriterConfig,
+    trace: Trace,
 }
 
 impl SpatialWriter {
     pub fn new(decomp: DomainDecomposition, config: WriterConfig) -> Self {
-        SpatialWriter { decomp, config }
+        SpatialWriter {
+            decomp,
+            config,
+            trace: Trace::off(),
+        }
+    }
+
+    /// Attach a trace sink; the writer will record per-rank phase spans
+    /// ([`phases`]) into it. Pass a clone of the job-wide trace so spans
+    /// from all ranks merge into one stream.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     pub fn config(&self) -> &WriterConfig {
@@ -180,6 +216,7 @@ impl SpatialWriter {
         let t0 = Instant::now();
         let (grid, global_counts) = self.setup_grid(comm, particles)?;
         stats.setup_time = t0.elapsed();
+        self.trace.phase(me, phases::SETUP, stats.setup_time);
 
         // ---- Steps 3-5: metadata + particle exchange. ----
         let t0 = Instant::now();
@@ -190,6 +227,8 @@ impl SpatialWriter {
             WriteMode::General => self.exchange_general(comm, &grid, particles)?,
         };
         stats.aggregation_time = t0.elapsed();
+        self.trace
+            .phase(me, phases::AGGREGATION, stats.aggregation_time);
 
         // ---- Steps 6-7: LOD shuffle + data file write. ----
         let my_partition = grid.aggregated_partition(me);
@@ -214,6 +253,7 @@ impl SpatialWriter {
                 (LodOrder::Random, false) => lod_shuffle(&mut buffer, seed),
             }
             stats.shuffle_time = t0.elapsed();
+            self.trace.phase(me, phases::SHUFFLE, stats.shuffle_time);
 
             // §3.5 extension: record the scalar ranges of this file so
             // readers can prune attribute range-queries.
@@ -230,6 +270,7 @@ impl SpatialWriter {
             stats.bytes_written = bytes.len() as u64;
             stats.files_written = 1;
             stats.file_io_time = t0.elapsed();
+            self.trace.phase(me, phases::FILE_IO, stats.file_io_time);
 
             my_entry = Some((
                 part_idx,
@@ -244,37 +285,87 @@ impl SpatialWriter {
 
         // ---- Step 8: spatial metadata (gathered on rank 0, §3.5). ----
         let t0 = Instant::now();
-        let mine = encode_meta_contribution(&my_entry);
+        let meta_result = self.write_metadata(comm, &grid, &my_entry, storage);
+        stats.meta_time = t0.elapsed();
+        self.trace.phase(me, phases::META, stats.meta_time);
+        meta_result?;
+        Ok(stats)
+    }
+
+    /// Gather per-file entries, write the metadata file on rank 0, and
+    /// broadcast the outcome. Every rank returns `Err` when rank 0's
+    /// validation or write fails — a dataset without its metadata file is
+    /// unreadable, so no rank may report the write as successful.
+    fn write_metadata<C: Comm, S: Storage>(
+        &self,
+        comm: &C,
+        grid: &AggregationGrid,
+        my_entry: &Option<(usize, FileEntry, AttrRange)>,
+        storage: &S,
+    ) -> Result<(), SpioError> {
+        let me = comm.rank();
+        let mine = encode_meta_contribution(my_entry);
         let gathered = comm.allgather(&mine);
         if me == 0 {
-            let mut entries: Vec<(usize, FileEntry, AttrRange)> = gathered
-                .iter()
-                .filter_map(|b| decode_meta_contribution(b))
-                .collect();
-            entries.sort_by_key(|(part_idx, _, _)| *part_idx);
-            if entries.len() != grid.partitions.len() {
-                return Err(SpioError::Comm(format!(
-                    "metadata gather produced {} entries for {} partitions",
-                    entries.len(),
-                    grid.partitions.len()
-                )));
-            }
-            let attr_ranges: Vec<AttrRange> = entries.iter().map(|(_, _, r)| *r).collect();
-            let entries: Vec<FileEntry> = entries.into_iter().map(|(_, e, _)| e).collect();
-            let total_particles = entries.iter().map(|e| e.particle_count).sum();
-            let meta = SpatialMetadata {
-                domain: self.decomp.bounds,
-                writer_grid: self.decomp.dims,
-                partition_factor: grid.factor,
-                lod: self.config.lod,
-                total_particles,
-                entries,
-                attr_ranges: Some(attr_ranges),
+            let outcome = self.assemble_and_write_meta(grid, &gathered, storage);
+            let payload = match &outcome {
+                Ok(()) => vec![0u8],
+                Err(e) => {
+                    let mut p = vec![1u8];
+                    p.extend_from_slice(e.to_string().as_bytes());
+                    p
+                }
             };
-            storage.write_file(META_FILE_NAME, &meta.encode())?;
+            comm.broadcast(0, payload);
+            outcome
+        } else {
+            let payload = comm.broadcast(0, Vec::new());
+            match payload.split_first() {
+                Some((0, _)) => Ok(()),
+                Some((_, msg)) => Err(SpioError::Comm(format!(
+                    "metadata write failed on rank 0: {}",
+                    String::from_utf8_lossy(msg)
+                ))),
+                None => Err(SpioError::Comm(
+                    "empty metadata-outcome broadcast".to_string(),
+                )),
+            }
         }
-        stats.meta_time = t0.elapsed();
-        Ok(stats)
+    }
+
+    /// Rank 0 only: validate the gathered contributions and write the
+    /// spatial metadata file.
+    fn assemble_and_write_meta<S: Storage>(
+        &self,
+        grid: &AggregationGrid,
+        gathered: &[Vec<u8>],
+        storage: &S,
+    ) -> Result<(), SpioError> {
+        let mut entries: Vec<(usize, FileEntry, AttrRange)> = gathered
+            .iter()
+            .filter_map(|b| decode_meta_contribution(b))
+            .collect();
+        entries.sort_by_key(|(part_idx, _, _)| *part_idx);
+        if entries.len() != grid.partitions.len() {
+            return Err(SpioError::Comm(format!(
+                "metadata gather produced {} entries for {} partitions",
+                entries.len(),
+                grid.partitions.len()
+            )));
+        }
+        let attr_ranges: Vec<AttrRange> = entries.iter().map(|(_, _, r)| *r).collect();
+        let entries: Vec<FileEntry> = entries.into_iter().map(|(_, e, _)| e).collect();
+        let total_particles = entries.iter().map(|e| e.particle_count).sum();
+        let meta = SpatialMetadata {
+            domain: self.decomp.bounds,
+            writer_grid: self.decomp.dims,
+            partition_factor: grid.factor,
+            lod: self.config.lod,
+            total_particles,
+            entries,
+            attr_ranges: Some(attr_ranges),
+        };
+        storage.write_file(META_FILE_NAME, &meta.encode())
     }
 
     /// Build the aggregation grid; for adaptive mode this performs the §6
@@ -335,18 +426,28 @@ impl SpatialWriter {
             )));
         }
 
-        // Send my particles to my partition's aggregator.
+        // Post (not complete) my sends: count metadata then particle data,
+        // both to my partition's aggregator. Waiting happens after the
+        // receive side has drained, preserving the post-all-then-wait MPI
+        // structure.
+        let mut sends: Vec<spio_comm::SendHandle> = Vec::new();
         let my_partition = grid.partition_of_rank(me);
         match (my_partition, particles.is_empty()) {
             (Some(part_idx), _) => {
                 let dest = grid.partitions[part_idx].agg_rank;
                 if global_counts.is_none() {
-                    comm.isend(dest, TAG_META, (particles.len() as u64).to_le_bytes().to_vec())
-                        .wait();
+                    sends.push(comm.isend(
+                        dest,
+                        TAG_META,
+                        (particles.len() as u64).to_le_bytes().to_vec(),
+                    ));
                 }
                 if !particles.is_empty() {
-                    comm.isend(dest, TAG_DATA, spio_types::particle::encode_particles(particles))
-                        .wait();
+                    sends.push(comm.isend(
+                        dest,
+                        TAG_DATA,
+                        spio_types::particle::encode_particles(particles),
+                    ));
                 }
             }
             (None, false) => {
@@ -360,49 +461,53 @@ impl SpatialWriter {
         }
 
         // Receive if I am an aggregator.
-        let Some(part_idx) = grid.aggregated_partition(me) else {
-            return Ok(None);
-        };
-        let part = &grid.partitions[part_idx];
-        // Metadata phase: learn how many particles each member sends.
-        let sender_counts: Vec<(Rank, u64)> = if let Some(counts) = global_counts {
-            part.members
+        let buffer = if let Some(part_idx) = grid.aggregated_partition(me) {
+            let part = &grid.partitions[part_idx];
+            // Metadata phase: learn how many particles each member sends.
+            let sender_counts: Vec<(Rank, u64)> = if let Some(counts) = global_counts {
+                part.members.iter().map(|&m| (m, counts[m])).collect()
+            } else {
+                let handles: Vec<(Rank, spio_comm::RecvHandle)> = part
+                    .members
+                    .iter()
+                    .map(|&m| (m, comm.irecv(m, TAG_META)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(m, h)| {
+                        let b = h.wait()?;
+                        let count = b
+                            .as_slice()
+                            .try_into()
+                            .map(u64::from_le_bytes)
+                            .map_err(|_| SpioError::Comm("bad metadata message".into()))?;
+                        Ok((m, count))
+                    })
+                    .collect::<Result<_, SpioError>>()?
+            };
+            // Allocate the aggregation buffer now that sizes are known
+            // (§3.3 step 4), then run the particle exchange.
+            let total: u64 = sender_counts.iter().map(|&(_, c)| c).sum();
+            let mut buffer = Vec::with_capacity(total as usize);
+            let handles: Vec<spio_comm::RecvHandle> = sender_counts
                 .iter()
-                .map(|&m| (m, counts[m]))
-                .collect()
-        } else {
-            let handles: Vec<(Rank, spio_comm::RecvHandle)> = part
-                .members
-                .iter()
-                .map(|&m| (m, comm.irecv(m, TAG_META)))
+                .filter(|&&(_, c)| c > 0)
+                .map(|&(m, _)| comm.irecv(m, TAG_DATA))
                 .collect();
-            handles
-                .into_iter()
-                .map(|(m, h)| {
-                    let b = h.wait();
-                    let count = b
-                        .as_slice()
-                        .try_into()
-                        .map(u64::from_le_bytes)
-                        .map_err(|_| SpioError::Comm("bad metadata message".into()))?;
-                    Ok((m, count))
-                })
-                .collect::<Result<_, SpioError>>()?
+            for h in handles {
+                let bytes = h.wait()?;
+                buffer.extend(spio_types::particle::decode_particles(&bytes));
+            }
+            Some(buffer)
+        } else {
+            None
         };
-        // Allocate the aggregation buffer now that sizes are known (§3.3
-        // step 4), then run the particle exchange.
-        let total: u64 = sender_counts.iter().map(|&(_, c)| c).sum();
-        let mut buffer = Vec::with_capacity(total as usize);
-        let handles: Vec<spio_comm::RecvHandle> = sender_counts
-            .iter()
-            .filter(|&&(_, c)| c > 0)
-            .map(|&(m, _)| comm.irecv(m, TAG_DATA))
-            .collect();
-        for h in handles {
-            let bytes = h.wait();
-            buffer.extend(spio_types::particle::decode_particles(&bytes));
+
+        // Complete the posted sends (batch wait).
+        for s in sends {
+            s.wait();
         }
-        Ok(Some(buffer))
+        Ok(buffer)
     }
 
     /// General exchange: ranks declare their particle bounding boxes via an
@@ -438,72 +543,79 @@ impl SpatialWriter {
             bins[part].push(*p);
         }
 
-        // Send metadata + data to every partition my declared box
+        // Post metadata + data sends to every partition my declared box
         // intersects (the box contains all my particles, so any partition
-        // actually receiving data is in this set).
+        // actually receiving data is in this set). All sends are posted
+        // before any is waited on.
+        let mut sends: Vec<spio_comm::SendHandle> = Vec::new();
         if !particles.is_empty() {
             for (part_idx, part) in grid.partitions.iter().enumerate() {
                 if !declared_intersects(&bbox, &part.bounds) {
                     continue;
                 }
                 let bin = &bins[part_idx];
-                comm.isend(
+                sends.push(comm.isend(
                     part.agg_rank,
                     TAG_META,
                     (bin.len() as u64).to_le_bytes().to_vec(),
-                )
-                .wait();
+                ));
                 if !bin.is_empty() {
-                    comm.isend(
+                    sends.push(comm.isend(
                         part.agg_rank,
                         TAG_DATA,
                         spio_types::particle::encode_particles(bin),
-                    )
-                    .wait();
+                    ));
                 }
             }
         }
 
         // Receive if I am an aggregator: expected senders are ranks whose
         // declared boxes intersect my partition and that hold particles.
-        let Some(part_idx) = grid.aggregated_partition(me) else {
-            return Ok(None);
+        let buffer = if let Some(part_idx) = grid.aggregated_partition(me) {
+            let bounds = grid.partitions[part_idx].bounds;
+            let mut senders: Vec<Rank> = Vec::new();
+            for (rank, bytes) in all_declared.iter().enumerate() {
+                let (count, rank_box) = decode_declared(bytes)?;
+                if count > 0 && declared_intersects(&rank_box, &bounds) {
+                    senders.push(rank);
+                }
+            }
+            let meta_handles: Vec<(Rank, spio_comm::RecvHandle)> = senders
+                .iter()
+                .map(|&s| (s, comm.irecv(s, TAG_META)))
+                .collect();
+            let mut data_senders = Vec::new();
+            let mut total: u64 = 0;
+            for (s, h) in meta_handles {
+                let b = h.wait()?;
+                let count = b
+                    .as_slice()
+                    .try_into()
+                    .map(u64::from_le_bytes)
+                    .map_err(|_| SpioError::Comm("bad metadata message".into()))?;
+                if count > 0 {
+                    data_senders.push(s);
+                    total += count;
+                }
+            }
+            let mut buffer = Vec::with_capacity(total as usize);
+            let handles: Vec<spio_comm::RecvHandle> = data_senders
+                .iter()
+                .map(|&s| comm.irecv(s, TAG_DATA))
+                .collect();
+            for h in handles {
+                buffer.extend(spio_types::particle::decode_particles(&h.wait()?));
+            }
+            Some(buffer)
+        } else {
+            None
         };
-        let bounds = grid.partitions[part_idx].bounds;
-        let mut senders: Vec<Rank> = Vec::new();
-        for (rank, bytes) in all_declared.iter().enumerate() {
-            let (count, rank_box) = decode_declared(bytes)?;
-            if count > 0 && declared_intersects(&rank_box, &bounds) {
-                senders.push(rank);
-            }
+
+        // Complete the posted sends (batch wait).
+        for s in sends {
+            s.wait();
         }
-        let meta_handles: Vec<(Rank, spio_comm::RecvHandle)> = senders
-            .iter()
-            .map(|&s| (s, comm.irecv(s, TAG_META)))
-            .collect();
-        let mut data_senders = Vec::new();
-        let mut total: u64 = 0;
-        for (s, h) in meta_handles {
-            let b = h.wait();
-            let count = b
-                .as_slice()
-                .try_into()
-                .map(u64::from_le_bytes)
-                .map_err(|_| SpioError::Comm("bad metadata message".into()))?;
-            if count > 0 {
-                data_senders.push(s);
-                total += count;
-            }
-        }
-        let mut buffer = Vec::with_capacity(total as usize);
-        let handles: Vec<spio_comm::RecvHandle> = data_senders
-            .iter()
-            .map(|&s| comm.irecv(s, TAG_DATA))
-            .collect();
-        for h in handles {
-            buffer.extend(spio_types::particle::decode_particles(&h.wait()));
-        }
-        Ok(Some(buffer))
+        Ok(buffer)
     }
 }
 
@@ -600,10 +712,7 @@ mod tests {
     use spio_types::{GridDims, PartitionFactor};
 
     fn decomp(nx: usize, ny: usize, nz: usize) -> DomainDecomposition {
-        DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(nx, ny, nz),
-        )
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(nx, ny, nz))
     }
 
     fn write_job(
@@ -615,8 +724,7 @@ mod tests {
         let s2 = storage.clone();
         let n = decomp.nprocs();
         let stats = run_threaded_collect(n, move |comm| {
-            let particles =
-                spio_workloads_shim::uniform(&decomp, comm.rank(), per_rank, 77);
+            let particles = spio_workloads_shim::uniform(&decomp, comm.rank(), per_rank, 77);
             let writer = SpatialWriter::new(decomp.clone(), config.clone());
             writer.write(&comm, &particles, &s2).unwrap()
         })
@@ -683,8 +791,7 @@ mod tests {
         let d = decomp(4, 4, 1);
         let config = WriterConfig::new(PartitionFactor::new(2, 2, 1));
         let (storage, _) = write_job(d.clone(), config, 40);
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         meta.validate_disjoint().unwrap();
         assert_eq!(meta.total_particles, 16 * 40);
         for entry in &meta.entries {
@@ -704,11 +811,11 @@ mod tests {
         let d = decomp(2, 2, 2);
         let config = WriterConfig::new(PartitionFactor::new(2, 1, 1));
         let (storage, _) = write_job(d, config, 30);
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         let mut ids = Vec::new();
         for entry in &meta.entries {
-            let (_, ps) = decode_data_file(&storage.read_file(&entry.file_name()).unwrap()).unwrap();
+            let (_, ps) =
+                decode_data_file(&storage.read_file(&entry.file_name()).unwrap()).unwrap();
             ids.extend(ps.iter().map(|p| p.id));
         }
         ids.sort_unstable();
@@ -744,13 +851,16 @@ mod tests {
     fn file_per_process_and_shared_file_extremes() {
         let d = decomp(2, 2, 1);
         // (1,1,1): file per process.
-        let (storage, _) = write_job(d.clone(), WriterConfig::new(PartitionFactor::new(1, 1, 1)), 10);
+        let (storage, _) = write_job(
+            d.clone(),
+            WriterConfig::new(PartitionFactor::new(1, 1, 1)),
+            10,
+        );
         assert_eq!(storage.file_names().len(), 4 + 1);
         // Whole-domain factor: single shared file.
         let (storage, _) = write_job(d, WriterConfig::new(PartitionFactor::new(2, 2, 1)), 10);
         assert_eq!(storage.file_names(), vec!["file_0.spd", META_FILE_NAME]);
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         assert_eq!(meta.entries.len(), 1);
         assert_eq!(meta.total_particles, 40);
     }
@@ -771,7 +881,10 @@ mod tests {
             writer.write(&comm, &[p], &storage.clone()).map(|_| ())
         })
         .unwrap();
-        assert!(err.iter().all(Result::is_err), "stray particles must be caught");
+        assert!(
+            err.iter().all(Result::is_err),
+            "stray particles must be caught"
+        );
         let msg = format!("{}", err[0].as_ref().unwrap_err());
         assert!(msg.contains("WriteMode::General"), "got: {msg}");
     }
@@ -801,13 +914,13 @@ mod tests {
             writer.write(&comm, &particles, &s2).unwrap();
         })
         .unwrap();
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         assert_eq!(meta.total_particles, 4 * 40);
         meta.validate_disjoint().unwrap();
         // Every particle must be in the file whose box contains it.
         for entry in &meta.entries {
-            let (_, ps) = decode_data_file(&storage.read_file(&entry.file_name()).unwrap()).unwrap();
+            let (_, ps) =
+                decode_data_file(&storage.read_file(&entry.file_name()).unwrap()).unwrap();
             assert_eq!(ps.len() as u64, entry.particle_count);
             assert!(ps.iter().all(|p| entry.bounds.contains(p.position)));
         }
@@ -834,8 +947,7 @@ mod tests {
             writer.write(&comm, &particles, &s2).unwrap();
         })
         .unwrap();
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         // One partition over the two occupied patches — not two partitions.
         assert_eq!(meta.entries.len(), 1);
         assert_eq!(meta.total_particles, 50);
@@ -894,8 +1006,7 @@ mod tests {
             writer.write(&comm, &particles, &s2).unwrap();
         })
         .unwrap();
-        let meta =
-            SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
+        let meta = SpatialMetadata::decode(&storage.read_file(META_FILE_NAME).unwrap()).unwrap();
         meta.validate_disjoint().unwrap();
         assert_eq!(meta.total_particles, 4 * 200 + 12 * 20);
         // Rebalancing: the heaviest file must hold well under the bbox
@@ -923,5 +1034,95 @@ mod tests {
         })
         .unwrap();
         assert!(res.iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn meta_write_failure_reaches_every_rank() {
+        use crate::storage::MemStorage;
+        use spio_types::SpioError;
+
+        /// Storage that accepts data files but refuses the metadata file —
+        /// models rank 0 hitting a full or failed filesystem at the last
+        /// step.
+        #[derive(Clone)]
+        struct FailMeta(MemStorage);
+        impl Storage for FailMeta {
+            fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+                if name == META_FILE_NAME {
+                    return Err(SpioError::Io(std::io::Error::other("disk full")));
+                }
+                self.0.write_file(name, data)
+            }
+            fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+                self.0.read_file(name)
+            }
+            fn read_range(&self, name: &str, s: u64, e: u64) -> Result<Vec<u8>, SpioError> {
+                self.0.read_range(name, s, e)
+            }
+            fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+                self.0.file_size(name)
+            }
+            fn exists(&self, name: &str) -> bool {
+                self.0.exists(name)
+            }
+            fn write_range(&self, name: &str, o: u64, d: &[u8]) -> Result<(), SpioError> {
+                self.0.write_range(name, o, d)
+            }
+        }
+
+        let storage = FailMeta(MemStorage::new());
+        let results = run_threaded_collect(4, move |comm| {
+            let d = decomp(2, 2, 1);
+            let particles = spio_workloads_shim::uniform(&d, comm.rank(), 10, 5);
+            let writer = SpatialWriter::new(d, WriterConfig::new(PartitionFactor::new(1, 1, 1)));
+            writer
+                .write(&comm, &particles, &storage.clone())
+                .map(|_| ())
+        })
+        .unwrap();
+        // EVERY rank must see the failure, not just rank 0 — a dataset
+        // without its metadata file is unreadable.
+        for (rank, res) in results.iter().enumerate() {
+            let err = res.as_ref().expect_err("rank must report meta failure");
+            assert!(
+                err.to_string().contains("disk full"),
+                "rank {rank} got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_write_records_phases_matching_stats() {
+        let d = decomp(2, 2, 1);
+        let storage = MemStorage::new();
+        let trace = Trace::collecting();
+        let t2 = trace.clone();
+        let s2 = storage.clone();
+        let stats = run_threaded_collect(4, move |comm| {
+            let particles = spio_workloads_shim::uniform(&d, comm.rank(), 50, 9);
+            let writer =
+                SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))
+                    .with_trace(t2.clone());
+            writer.write(&comm, &particles, &s2).unwrap()
+        })
+        .unwrap();
+        let report = spio_trace::JobReport::from_events(4, &trace.events());
+        // Phase totals derive from the same Instant reads as WriteStats, so
+        // the max-over-ranks must agree exactly (to microsecond rounding).
+        let merged = WriteStats::merge_max(&stats);
+        for (phase, expect) in [
+            (phases::SETUP, merged.setup_time),
+            (phases::AGGREGATION, merged.aggregation_time),
+            (phases::SHUFFLE, merged.shuffle_time),
+            (phases::FILE_IO, merged.file_io_time),
+            (phases::META, merged.meta_time),
+        ] {
+            let got = report.phase_max(phase).as_micros() as u64;
+            let want = expect.as_micros() as u64;
+            assert!(
+                got.abs_diff(want) <= 1,
+                "phase {phase}: trace {got}µs vs stats {want}µs"
+            );
+        }
     }
 }

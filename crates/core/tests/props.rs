@@ -2,12 +2,12 @@
 //! aggregation conserves particles, every particle lands in the file whose
 //! box contains it, boxes are disjoint, and box queries are exact.
 
-use proptest::prelude::*;
 use spio_comm::run_threaded_collect;
 use spio_core::plan::plan_write;
 use spio_core::{DatasetReader, MemStorage, SpatialWriter, Storage, WriteMode, WriterConfig};
 use spio_format::data_file::decode_data_file;
 use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, PartitionFactor};
+use spio_util::check::{cases, Gen};
 
 /// Deterministic pseudo-random particles inside (or around) a rank's patch.
 fn particles_for(
@@ -27,7 +27,9 @@ fn particles_for(
         .map(|i| {
             let mut h = seed ^ ((rank as u64) << 32) ^ i as u64;
             let mut next = || {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((h >> 33) as f64 / (1u64 << 31) as f64).fract().abs()
             };
             let pos = [
@@ -96,95 +98,114 @@ fn check_invariants(storage: &MemStorage, expected_total: u64) {
     assert_eq!(ids.len() as u64, expected_total, "lost particles");
 }
 
-fn small_grids() -> impl Strategy<Value = (usize, usize, usize)> {
-    prop_oneof![
-        Just((2, 2, 1)),
-        Just((4, 2, 1)),
-        Just((2, 2, 2)),
-        Just((4, 2, 2)),
-        Just((3, 2, 1)),
-        Just((5, 2, 1)),
-    ]
-}
+const SMALL_GRIDS: [(usize, usize, usize); 6] = [
+    (2, 2, 1),
+    (4, 2, 1),
+    (2, 2, 2),
+    (4, 2, 2),
+    (3, 2, 1),
+    (5, 2, 1),
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case runs a full threaded job
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn aligned_write_conserves_particles(
-        dims in small_grids(),
-        fx in 1usize..3, fy in 1usize..3, fz in 1usize..3,
-        per_rank in 1usize..120,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(fx <= dims.0 && fy <= dims.1 && fz <= dims.2);
+#[test]
+fn aligned_write_conserves_particles() {
+    cases(24, |g: &mut Gen| {
+        let dims = SMALL_GRIDS[g.index(SMALL_GRIDS.len())];
+        let fx = g.usize_in(1, 2);
+        let fy = g.usize_in(1, 2);
+        let fz = g.usize_in(1, 2);
+        let per_rank = g.usize_in(1, 119);
+        let seed = g.u64();
+        if fx > dims.0 || fy > dims.1 || fz > dims.2 {
+            return;
+        }
         let n = dims.0 * dims.1 * dims.2;
         let counts = vec![per_rank; n];
         let (storage, _) = run_write(dims, (fx, fy, fz), counts, seed, WriteMode::Aligned, false);
         check_invariants(&storage, (n * per_rank) as u64);
-    }
+    });
+}
 
-    #[test]
-    fn general_mode_conserves_stray_particles(
-        dims in small_grids(),
-        per_rank in 1usize..60,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn general_mode_conserves_stray_particles() {
+    cases(24, |g: &mut Gen| {
+        let dims = SMALL_GRIDS[g.index(SMALL_GRIDS.len())];
+        let per_rank = g.usize_in(1, 59);
+        let seed = g.u64();
         // Particles spread over the whole domain regardless of owner rank.
         let n = dims.0 * dims.1 * dims.2;
         let counts = vec![per_rank; n];
         let (storage, _) = run_write(dims, (1, 1, 1), counts, seed, WriteMode::General, false);
         check_invariants(&storage, (n * per_rank) as u64);
-    }
+    });
+}
 
-    #[test]
-    fn adaptive_write_conserves_uneven_loads(
-        dims in small_grids(),
-        seed in any::<u64>(),
-        loads in prop::collection::vec(0usize..80, 40),
-    ) {
+#[test]
+fn adaptive_write_conserves_uneven_loads() {
+    cases(24, |g: &mut Gen| {
+        let dims = SMALL_GRIDS[g.index(SMALL_GRIDS.len())];
+        let seed = g.u64();
+        let loads: Vec<usize> = (0..40).map(|_| g.usize_in(0, 79)).collect();
         let n = dims.0 * dims.1 * dims.2;
         let counts: Vec<usize> = (0..n).map(|r| loads[r % loads.len()]).collect();
         let total: usize = counts.iter().sum();
-        prop_assume!(total > 0);
+        if total == 0 {
+            return;
+        }
         let (storage, _) = run_write(dims, (2, 2, 1), counts, seed, WriteMode::Aligned, true);
         check_invariants(&storage, total as u64);
-    }
+    });
+}
 
-    #[test]
-    fn box_queries_are_exact(
-        seed in any::<u64>(),
-        qlo in prop::array::uniform3(0.0f64..0.8),
-        qext in prop::array::uniform3(0.05f64..0.6),
-    ) {
-        let (storage, _) = run_write((4, 2, 2), (2, 2, 1), vec![40; 16], seed, WriteMode::Aligned, false);
+#[test]
+fn box_queries_are_exact() {
+    cases(24, |g: &mut Gen| {
+        let seed = g.u64();
+        let qlo = [g.f64_in(0.0, 0.8), g.f64_in(0.0, 0.8), g.f64_in(0.0, 0.8)];
+        let qext = [
+            g.f64_in(0.05, 0.6),
+            g.f64_in(0.05, 0.6),
+            g.f64_in(0.05, 0.6),
+        ];
+        let (storage, _) = run_write(
+            (4, 2, 2),
+            (2, 2, 1),
+            vec![40; 16],
+            seed,
+            WriteMode::Aligned,
+            false,
+        );
         let reader = DatasetReader::open(&storage).unwrap();
-        let q = Aabb3::new(qlo, [
-            (qlo[0] + qext[0]).min(1.0),
-            (qlo[1] + qext[1]).min(1.0),
-            (qlo[2] + qext[2]).min(1.0),
-        ]);
+        let q = Aabb3::new(
+            qlo,
+            [
+                (qlo[0] + qext[0]).min(1.0),
+                (qlo[1] + qext[1]).min(1.0),
+                (qlo[2] + qext[2]).min(1.0),
+            ],
+        );
         let (fast, _) = reader.read_box(&storage, &q).unwrap();
         let (slow, _) = reader.read_box_without_metadata(&storage, &q).unwrap();
         let mut a: Vec<u64> = fast.iter().map(|p| p.id).collect();
         let mut b: Vec<u64> = slow.iter().map(|p| p.id).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b, "metadata-guided read must equal the full scan");
-        prop_assert!(fast.iter().all(|p| q.contains(p.position)));
-    }
+        assert_eq!(a, b, "metadata-guided read must equal the full scan");
+        assert!(fast.iter().all(|p| q.contains(p.position)));
+    });
+}
 
-    #[test]
-    fn plan_predicts_real_execution(
-        dims in small_grids(),
-        fx in 1usize..3, fy in 1usize..3,
-        per_rank in 1usize..100,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(fx <= dims.0 && fy <= dims.1);
+#[test]
+fn plan_predicts_real_execution() {
+    cases(24, |g: &mut Gen| {
+        let dims = SMALL_GRIDS[g.index(SMALL_GRIDS.len())];
+        let fx = g.usize_in(1, 2);
+        let fy = g.usize_in(1, 2);
+        let per_rank = g.usize_in(1, 99);
+        let seed = g.u64();
+        if fx > dims.0 || fy > dims.1 {
+            return;
+        }
         let n = dims.0 * dims.1 * dims.2;
         let decomp = DomainDecomposition::uniform(
             Aabb3::new([0.0; 3], [1.0; 3]),
@@ -197,16 +218,22 @@ proptest! {
             false,
         )
         .unwrap();
-        let (storage, _) =
-            run_write(dims, (fx, fy, 1), vec![per_rank; n], seed, WriteMode::Aligned, false);
+        let (storage, _) = run_write(
+            dims,
+            (fx, fy, 1),
+            vec![per_rank; n],
+            seed,
+            WriteMode::Aligned,
+            false,
+        );
         // The plan's file inventory must match what the real writer
         // produced: same count, same writers, same byte sizes.
         let reader = DatasetReader::open(&storage).unwrap();
-        prop_assert_eq!(plan.partition_count, reader.meta.entries.len());
+        assert_eq!(plan.partition_count, reader.meta.entries.len());
         for (w, entry) in plan.file_writes.iter().zip(&reader.meta.entries) {
-            prop_assert_eq!(w.rank as u64, entry.agg_rank);
+            assert_eq!(w.rank as u64, entry.agg_rank);
             let actual = storage.file_size(&entry.file_name()).unwrap();
-            prop_assert_eq!(w.bytes, actual, "planned size must match written size");
+            assert_eq!(w.bytes, actual, "planned size must match written size");
         }
-    }
+    });
 }

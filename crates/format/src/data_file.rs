@@ -123,7 +123,10 @@ pub fn decode_data_file(bytes: &[u8]) -> Result<(DataFileHeader, Vec<Particle>),
             header.particle_count
         )));
     }
-    let particles = payload.chunks_exact(PARTICLE_BYTES).map(Particle::decode).collect();
+    let particles = payload
+        .chunks_exact(PARTICLE_BYTES)
+        .map(Particle::decode)
+        .collect();
     Ok((header, particles))
 }
 
@@ -132,7 +135,10 @@ pub fn decode_data_file(bytes: &[u8]) -> Result<(DataFileHeader, Vec<Particle>),
 ///
 /// `bytes` may be the whole file or any prefix long enough to hold the
 /// requested records (readers fetch exactly `payload_range(prefix)` bytes).
-pub fn decode_prefix(bytes: &[u8], prefix: usize) -> Result<(DataFileHeader, Vec<Particle>), SpioError> {
+pub fn decode_prefix(
+    bytes: &[u8],
+    prefix: usize,
+) -> Result<(DataFileHeader, Vec<Particle>), SpioError> {
     let header = DataFileHeader::decode(bytes)?;
     let want = (prefix as u64).min(header.particle_count) as usize;
     let need = (want as u64)

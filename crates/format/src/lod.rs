@@ -9,7 +9,6 @@
 //! whatever remains (the paper's 100-particle example: levels of 32, 64 and
 //! the remaining 4).
 
-use serde::{Deserialize, Serialize};
 use spio_types::SpioError;
 
 /// LOD parameters `(P, S)` from §3.4.
@@ -24,7 +23,7 @@ use spio_types::SpioError;
 /// assert_eq!(lod.actual_level_size(1, 2, 100), 4);
 /// assert_eq!(lod.num_levels(1, 100), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LodParams {
     /// Particles per reading process in level 0.
     pub p: u64,
@@ -82,7 +81,11 @@ impl LodParams {
     /// Actual particle count of level `l` in a dataset of `total` particles:
     /// full `x(n, l)` for interior levels, the remainder for the last.
     pub fn actual_level_size(&self, n: u64, l: u32, total: u64) -> u64 {
-        let before = if l == 0 { 0 } else { self.cumulative_size(n, l - 1) };
+        let before = if l == 0 {
+            0
+        } else {
+            self.cumulative_size(n, l - 1)
+        };
         if before >= total {
             return 0;
         }

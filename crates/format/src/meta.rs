@@ -9,7 +9,6 @@
 
 use crate::data_file_name;
 use crate::lod::LodParams;
-use serde::{Deserialize, Serialize};
 use spio_types::{Aabb3, GridDims, PartitionFactor, SpioError};
 
 /// Magic bytes opening the metadata file.
@@ -25,7 +24,7 @@ const RANGE_BYTES: usize = 4 * 8;
 const HEADER_BYTES: usize = 8 + 4 + 4 + 48 + 12 + 12 + 16 + 8 + 8;
 
 /// One Fig. 4 row: a data file's aggregator rank, particle count and bounds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FileEntry {
     /// Rank of the aggregator that wrote the file; determines the file name.
     pub agg_rank: u64,
@@ -46,7 +45,7 @@ impl FileEntry {
 /// extension the paper plans ("storing, e.g., the minimum and maximum
 /// values of scalar fields of the region as well. Such metadata can be
 /// used to narrow down range-queries on these non-spatial attributes").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttrRange {
     pub density_min: f64,
     pub density_max: f64,
@@ -91,7 +90,7 @@ impl AttrRange {
 
 /// The spatial metadata file: global dataset description plus one
 /// [`FileEntry`] per data file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpatialMetadata {
     /// Bounds of the full simulation domain.
     pub domain: Aabb3,
@@ -123,7 +122,10 @@ impl SpatialMetadata {
         let mut out = Vec::with_capacity(
             HEADER_BYTES
                 + self.entries.len() * ENTRY_BYTES
-                + self.attr_ranges.as_ref().map_or(0, |r| r.len() * RANGE_BYTES),
+                + self
+                    .attr_ranges
+                    .as_ref()
+                    .map_or(0, |r| r.len() * RANGE_BYTES),
         );
         out.extend_from_slice(&META_MAGIC);
         out.extend_from_slice(&META_VERSION.to_le_bytes());
@@ -288,7 +290,7 @@ impl SpatialMetadata {
                     && self
                         .attr_ranges
                         .as_ref()
-                        .map_or(true, |r| r[*i].density_overlaps(density_lo, density_hi))
+                        .is_none_or(|r| r[*i].density_overlaps(density_lo, density_hi))
             })
             .map(|(i, _)| i)
             .collect()

@@ -1,69 +1,78 @@
 //! Property tests for the on-disk format and LOD arithmetic.
 
-use proptest::prelude::*;
-use spio_format::data_file::{
-    decode_data_file, decode_prefix, encode_data_file, DataFileHeader,
-};
+use spio_format::data_file::{decode_data_file, decode_prefix, encode_data_file, DataFileHeader};
 use spio_format::{FileEntry, LodParams, SpatialMetadata};
 use spio_types::{Aabb3, GridDims, Particle, PartitionFactor};
+use spio_util::check::{cases, Gen};
 
-fn arb_particles(max: usize) -> impl Strategy<Value = Vec<Particle>> {
-    prop::collection::vec(
-        (prop::array::uniform3(-1e3f64..1e3), any::<u64>())
-            .prop_map(|(pos, id)| Particle::synthetic(pos, id)),
-        0..max,
-    )
+fn arb_particles(g: &mut Gen, max: usize) -> Vec<Particle> {
+    let n = g.usize_in(0, max.saturating_sub(1));
+    (0..n)
+        .map(|_| {
+            let pos = [
+                g.f64_in(-1e3, 1e3),
+                g.f64_in(-1e3, 1e3),
+                g.f64_in(-1e3, 1e3),
+            ];
+            Particle::synthetic(pos, g.u64())
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn data_file_roundtrip(ps in arb_particles(128), seed in any::<u64>()) {
+#[test]
+fn data_file_roundtrip() {
+    cases(128, |g: &mut Gen| {
+        let ps = arb_particles(g, 128);
+        let seed = g.u64();
         let bounds = Aabb3::new([-1e3; 3], [1e3; 3]);
         let header = DataFileHeader::new(ps.len() as u64, bounds, seed);
         let bytes = encode_data_file(&header, &ps);
         let (h2, ps2) = decode_data_file(&bytes).unwrap();
-        prop_assert_eq!(h2, header);
-        prop_assert_eq!(ps2, ps);
-    }
+        assert_eq!(h2, header);
+        assert_eq!(ps2, ps);
+    });
+}
 
-    #[test]
-    fn any_prefix_decodes(ps in arb_particles(64), take in 0usize..80) {
-        let header = DataFileHeader::new(
-            ps.len() as u64,
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            7,
-        );
+#[test]
+fn any_prefix_decodes() {
+    cases(128, |g: &mut Gen| {
+        let ps = arb_particles(g, 64);
+        let take = g.usize_in(0, 79);
+        let header = DataFileHeader::new(ps.len() as u64, Aabb3::new([0.0; 3], [1.0; 3]), 7);
         let bytes = encode_data_file(&header, &ps);
         let (_, got) = decode_prefix(&bytes, take).unwrap();
         let want = take.min(ps.len());
-        prop_assert_eq!(got.as_slice(), &ps[..want]);
-    }
+        assert_eq!(got.as_slice(), &ps[..want]);
+    });
+}
 
-    #[test]
-    fn truncated_data_file_rejected(ps in arb_particles(32), cut in 1usize..50) {
-        prop_assume!(!ps.is_empty());
-        let header = DataFileHeader::new(ps.len() as u64, Aabb3::new([0.0;3],[1.0;3]), 0);
+#[test]
+fn truncated_data_file_rejected() {
+    cases(128, |g: &mut Gen| {
+        let mut ps = arb_particles(g, 32);
+        if ps.is_empty() {
+            ps.push(Particle::synthetic([0.0; 3], 1));
+        }
+        let header = DataFileHeader::new(ps.len() as u64, Aabb3::new([0.0; 3], [1.0; 3]), 0);
         let mut bytes = encode_data_file(&header, &ps);
-        let cut = cut.min(bytes.len() - 1);
+        let cut = g.usize_in(1, 49).min(bytes.len() - 1);
         bytes.truncate(bytes.len() - cut);
-        prop_assert!(decode_data_file(&bytes).is_err());
-    }
+        assert!(decode_data_file(&bytes).is_err());
+    });
+}
 
-    #[test]
-    fn metadata_roundtrip(
-        n_entries in 0usize..32,
-        total_scale in 1u64..1000,
-        p in 1u64..256,
-        s in 1u64..8,
-    ) {
+#[test]
+fn metadata_roundtrip() {
+    cases(128, |g: &mut Gen| {
+        let n_entries = g.usize_in(0, 31);
+        let total_scale = g.u64_in(1, 999);
+        let p = g.u64_in(1, 255);
+        let s = g.u64_in(1, 7);
         let entries: Vec<FileEntry> = (0..n_entries)
             .map(|i| FileEntry {
                 agg_rank: (i * 7) as u64,
                 particle_count: total_scale * (i as u64 + 1),
-                bounds: Aabb3::new(
-                    [i as f64, 0.0, 0.0],
-                    [i as f64 + 0.5, 1.0, 1.0],
-                ),
+                bounds: Aabb3::new([i as f64, 0.0, 0.0], [i as f64 + 0.5, 1.0, 1.0]),
             })
             .collect();
         let total = entries.iter().map(|e| e.particle_count).sum();
@@ -74,7 +83,7 @@ proptest! {
             lod: LodParams::new(p, s).unwrap(),
             total_particles: total,
             entries,
-            attr_ranges: if n_entries % 2 == 0 {
+            attr_ranges: if n_entries.is_multiple_of(2) {
                 None
             } else {
                 Some(
@@ -89,76 +98,84 @@ proptest! {
             },
         };
         let decoded = SpatialMetadata::decode(&meta.encode()).unwrap();
-        prop_assert_eq!(decoded, meta);
-    }
+        assert_eq!(decoded, meta);
+    });
+}
 
-    #[test]
-    fn lod_levels_partition_any_dataset(
-        p in 1u64..512,
-        s in 1u64..6,
-        n in 1u64..128,
-        total in 0u64..2_000_000,
-    ) {
+#[test]
+fn lod_levels_partition_any_dataset() {
+    cases(256, |g: &mut Gen| {
+        let p = g.u64_in(1, 511);
+        let s = g.u64_in(1, 5);
+        let n = g.u64_in(1, 127);
+        let total = g.u64_in(0, 1_999_999);
         let lod = LodParams::new(p, s).unwrap();
         let levels = lod.num_levels(n, total);
-        let sum: u64 = (0..levels).map(|l| lod.actual_level_size(n, l, total)).sum();
-        prop_assert_eq!(sum, total, "levels must partition the dataset");
+        let sum: u64 = (0..levels)
+            .map(|l| lod.actual_level_size(n, l, total))
+            .sum();
+        assert_eq!(sum, total, "levels must partition the dataset");
         // Every interior level is full-size.
         for l in 0..levels.saturating_sub(1) {
-            prop_assert_eq!(lod.actual_level_size(n, l, total), lod.level_size(n, l));
+            assert_eq!(lod.actual_level_size(n, l, total), lod.level_size(n, l));
         }
         // Prefixes are monotone and clamp at total.
         let mut prev = 0;
         for l in 0..levels {
             let pre = lod.prefix_len(n, l, total);
-            prop_assert!(pre >= prev);
-            prop_assert!(pre <= total);
+            assert!(pre >= prev);
+            assert!(pre <= total);
             prev = pre;
         }
         if levels > 0 {
-            prop_assert_eq!(lod.prefix_len(n, levels - 1, total), total);
+            assert_eq!(lod.prefix_len(n, levels - 1, total), total);
         }
-    }
+    });
+}
 
-    #[test]
-    fn file_prefixes_cover_global_prefix(
-        file_counts in prop::collection::vec(0u64..10_000, 1..20),
-        frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn file_prefixes_cover_global_prefix() {
+    cases(256, |g: &mut Gen| {
+        let n_files = g.usize_in(1, 19);
+        let file_counts: Vec<u64> = (0..n_files).map(|_| g.u64_in(0, 9_999)).collect();
+        let frac = g.f64_in(0.0, 1.0);
         let total: u64 = file_counts.iter().sum();
         let global = (total as f64 * frac) as u64;
         let covered: u64 = file_counts
             .iter()
             .map(|&c| LodParams::file_prefix(c, total, global))
             .sum();
-        prop_assert!(covered >= global, "{covered} < {global}");
+        assert!(covered >= global, "{covered} < {global}");
         // And never reads more than the dataset.
-        prop_assert!(covered <= total);
+        assert!(covered <= total);
         // Per-file prefixes are clamped.
         for &c in &file_counts {
-            prop_assert!(LodParams::file_prefix(c, total, global) <= c);
+            assert!(LodParams::file_prefix(c, total, global) <= c);
         }
-    }
+    });
+}
 
-    #[test]
-    fn file_prefix_monotone_in_global(
-        file in 1u64..10_000,
-        total in 1u64..1_000_000,
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-    ) {
-        prop_assume!(file <= total);
+#[test]
+fn file_prefix_monotone_in_global() {
+    cases(256, |g: &mut Gen| {
+        let total = g.u64_in(1, 999_999);
+        let file = g.u64_in(1, 9_999).min(total);
+        let a = g.u64_in(0, 999_999);
+        let b = g.u64_in(0, 999_999);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(
-            LodParams::file_prefix(file, total, lo) <= LodParams::file_prefix(file, total, hi)
-        );
-    }
+        assert!(LodParams::file_prefix(file, total, lo) <= LodParams::file_prefix(file, total, hi));
+    });
+}
 
-    #[test]
-    fn box_query_selects_all_intersecting(
-        qlo in prop::array::uniform3(0.0f64..0.9),
-        qext in prop::array::uniform3(0.05f64..0.5),
-    ) {
+#[test]
+fn box_query_selects_all_intersecting() {
+    cases(256, |g: &mut Gen| {
+        let qlo = [g.f64_in(0.0, 0.9), g.f64_in(0.0, 0.9), g.f64_in(0.0, 0.9)];
+        let qext = [
+            g.f64_in(0.05, 0.5),
+            g.f64_in(0.05, 0.5),
+            g.f64_in(0.05, 0.5),
+        ];
         // 4 disjoint slabs along x.
         let entries: Vec<FileEntry> = (0..4)
             .map(|i| FileEntry {
@@ -179,18 +196,21 @@ proptest! {
             entries: entries.clone(),
             attr_ranges: None,
         };
-        let q = Aabb3::new(qlo, [
-            (qlo[0] + qext[0]).min(1.0),
-            (qlo[1] + qext[1]).min(1.0),
-            (qlo[2] + qext[2]).min(1.0),
-        ]);
+        let q = Aabb3::new(
+            qlo,
+            [
+                (qlo[0] + qext[0]).min(1.0),
+                (qlo[1] + qext[1]).min(1.0),
+                (qlo[2] + qext[2]).min(1.0),
+            ],
+        );
         let selected = meta.files_intersecting(&q);
         for (i, e) in entries.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 selected.contains(&i),
                 e.bounds.intersects(&q),
-                "selection must match geometry for file {}", i
+                "selection must match geometry for file {i}"
             );
         }
-    }
+    });
 }

@@ -16,11 +16,10 @@
 //! ranks, so small jobs only reach a few IONs), while on Lustre and the SSD
 //! box data is placed by *file* across OSTs/stripes.
 
-use serde::{Deserialize, Serialize};
 use spio_types::Rank;
 
 /// Which placement/metadata behaviour to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsKind {
     /// GPFS with dedicated I/O nodes (Mira): data routed by writer rank.
     Gpfs,
@@ -31,7 +30,7 @@ pub enum FsKind {
 }
 
 /// Calibrated filesystem constants for one machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FsModel {
     pub kind: FsKind,
     /// Parallel metadata pipelines (GPFS: scales with engaged IONs; Lustre:
@@ -162,18 +161,20 @@ impl FsModel {
     /// spans at most `max_stripes` servers; interleaved access pays the
     /// shared-file efficiency penalty, which worsens as more writers
     /// contend for extent locks.
-    pub fn shared_write_phase(&self, nprocs: usize, total_bytes: u64, nwriters: usize) -> WriteIoOutcome {
+    pub fn shared_write_phase(
+        &self,
+        nprocs: usize,
+        total_bytes: u64,
+        nwriters: usize,
+    ) -> WriteIoOutcome {
         let create_time = self.create_phase(nprocs, 1, 1.0);
-        let servers = self
-            .engaged_servers(nprocs)
-            .min(self.max_stripes)
-            .max(1);
+        let servers = self.engaged_servers(nprocs).min(self.max_stripes).max(1);
         // Lock contention grows with writers per stripe.
         let writers_per_server = (nwriters as f64 / servers as f64).max(1.0);
         let eff = self.shared_file_eff / (1.0 + writers_per_server.log2().max(0.0) * 0.25);
         let bw = (servers as f64 * self.server_bw * eff).min(self.backend_bw);
-        let data_time = (total_bytes as f64 / bw)
-            .max(total_bytes as f64 / nwriters as f64 / self.client_bw);
+        let data_time =
+            (total_bytes as f64 / bw).max(total_bytes as f64 / nwriters as f64 / self.client_bw);
         WriteIoOutcome {
             create_time,
             data_time,

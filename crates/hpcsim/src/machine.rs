@@ -26,10 +26,9 @@ pub fn mds_width_of(fs: &FsModel) -> usize {
     fs.mds_width.max(1)
 }
 use crate::network::NetModel;
-use serde::{Deserialize, Serialize};
 
 /// A complete machine description consumed by the write/read simulators.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineModel {
     pub name: &'static str,
     /// MPI ranks per compute node.

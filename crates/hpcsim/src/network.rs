@@ -13,10 +13,8 @@
 //!   slower KNL cores make it large, which is why the paper finds smaller
 //!   partition factors preferable on Theta.
 
-use serde::{Deserialize, Serialize};
-
 /// Calibrated network constants for one machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetModel {
     /// Per-message latency, seconds.
     pub alpha: f64,
@@ -46,8 +44,7 @@ impl NetModel {
         if g == 0 || bytes_each == 0 {
             return if g == 0 { 0.0 } else { g as f64 * self.alpha };
         }
-        g as f64 * self.alpha
-            + (g as f64 * bytes_each as f64) / self.rank_bw * self.contention(g)
+        g as f64 * self.alpha + (g as f64 * bytes_each as f64) / self.rank_bw * self.contention(g)
     }
 
     /// Time for a group where senders contribute different amounts.

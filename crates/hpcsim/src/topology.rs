@@ -7,7 +7,6 @@
 //! ranks to topology coordinates and count hops, so the placement study
 //! can charge longer routes more latency.
 
-use serde::{Deserialize, Serialize};
 use spio_types::Rank;
 
 /// A machine interconnect with a per-pair hop count.
@@ -23,7 +22,7 @@ pub trait Topology {
 /// A 5-dimensional torus (IBM Blue Gene/Q). Nodes are numbered in
 /// row-major order over `dims`; each hop moves ±1 along one dimension with
 /// wraparound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Torus5D {
     pub dims: [usize; 5],
     pub ranks_per_node: usize,
@@ -80,7 +79,7 @@ impl Topology for Torus5D {
 /// A Dragonfly (Cray Aries): nodes grouped into all-to-all-connected
 /// groups; minimal routes are 1 hop within a group, and up to
 /// local-global-local (3 hops) between groups.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dragonfly {
     /// Nodes per group.
     pub group_size: usize,

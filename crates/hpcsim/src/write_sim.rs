@@ -131,11 +131,7 @@ pub fn simulate_spio_write(plan: &WritePlan, machine: &MachineModel) -> WriteBre
         .fold(0.0, f64::max);
 
     // File I/O.
-    let writes: Vec<(usize, u64)> = plan
-        .file_writes
-        .iter()
-        .map(|w| (w.rank, w.bytes))
-        .collect();
+    let writes: Vec<(usize, u64)> = plan.file_writes.iter().map(|w| (w.rank, w.bytes)).collect();
     let io = fs.write_phase(n, &writes);
 
     // Spatial metadata: an all-gather of per-rank entries plus one small
@@ -155,7 +151,11 @@ pub fn simulate_spio_write(plan: &WritePlan, machine: &MachineModel) -> WriteBre
 
 /// Simulate an IOR-style file-per-process write: every rank creates and
 /// writes its own file; no aggregation, no metadata file.
-pub fn simulate_fpp_write(nprocs: usize, bytes_per_rank: u64, machine: &MachineModel) -> WriteBreakdown {
+pub fn simulate_fpp_write(
+    nprocs: usize,
+    bytes_per_rank: u64,
+    machine: &MachineModel,
+) -> WriteBreakdown {
     let writes: Vec<(usize, u64)> = (0..nprocs).map(|r| (r, bytes_per_rank)).collect();
     let io = machine.fs.write_phase(nprocs, &writes);
     WriteBreakdown {
@@ -208,8 +208,8 @@ pub fn simulate_hdf5_shared_write(
     // Collective open + metadata rounds: every rank participates in a few
     // small all-gathers and the root performs serialized header updates.
     let meta_rounds = 4.0;
-    b.meta += meta_rounds * machine.net.allgather_time(nprocs, 128)
-        + 16.0 * machine.fs.open_service;
+    b.meta +=
+        meta_rounds * machine.net.allgather_time(nprocs, 128) + 16.0 * machine.fs.open_service;
     // HDF5's chunked layout and datatype conversion cost on the data path.
     b.data_io *= 1.25;
     b
@@ -280,7 +280,10 @@ mod tests {
         let shared = simulate_shared_file_write(4096, 4 << 20, &theta());
         let hdf5 = simulate_hdf5_shared_write(4096, 4 << 20, &theta());
         assert!(fpp.total() > 0.0);
-        assert!(shared.total() > fpp.total(), "shared file is slower on theta");
+        assert!(
+            shared.total() > fpp.total(),
+            "shared file is slower on theta"
+        );
         assert!(hdf5.total() > shared.total(), "hdf5 adds overhead");
     }
 

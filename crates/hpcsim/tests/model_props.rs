@@ -2,99 +2,104 @@
 //! deterministic, non-negative, and monotone in work.
 
 use hpcsim::{mira, simulate_read, theta, workstation, MachineModel};
-use proptest::prelude::*;
 use spio_core::plan::{plan_box_read, plan_write, DatasetShape};
 use spio_format::LodParams;
 use spio_types::{Aabb3, DomainDecomposition, PartitionFactor};
+use spio_util::check::{cases, Gen};
 
 fn machines() -> Vec<MachineModel> {
     vec![mira(), theta(), workstation()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn create_phase_monotone_and_deterministic(
-        a in 1usize..100_000,
-        b in 1usize..100_000,
-        procs in 1usize..300_000,
-    ) {
+#[test]
+fn create_phase_monotone_and_deterministic() {
+    cases(48, |g: &mut Gen| {
+        let a = g.usize_in(1, 99_999);
+        let b = g.usize_in(1, 99_999);
+        let procs = g.usize_in(1, 299_999);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         for m in machines() {
             let t_lo = m.fs.create_phase(procs, lo, 1.0);
             let t_hi = m.fs.create_phase(procs, hi, 1.0);
-            prop_assert!(t_lo >= 0.0 && t_hi >= 0.0);
-            prop_assert!(t_hi >= t_lo, "{}: {lo}→{t_lo}, {hi}→{t_hi}", m.name);
-            prop_assert_eq!(t_lo, m.fs.create_phase(procs, lo, 1.0));
+            assert!(t_lo >= 0.0 && t_hi >= 0.0);
+            assert!(t_hi >= t_lo, "{}: {lo}→{t_lo}, {hi}→{t_hi}", m.name);
+            assert_eq!(t_lo, m.fs.create_phase(procs, lo, 1.0));
             // Weight scales linearly.
             let weighted = m.fs.create_phase(procs, lo, 0.5);
-            prop_assert!((weighted - t_lo * 0.5).abs() < 1e-12);
+            assert!((weighted - t_lo * 0.5).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn write_phase_monotone_in_bytes(
-        nfiles in 1usize..256,
-        bytes_a in 1u64..1_000_000_000,
-        bytes_b in 1u64..1_000_000_000,
-    ) {
-        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+#[test]
+fn write_phase_monotone_in_bytes() {
+    cases(48, |g: &mut Gen| {
+        let nfiles = g.usize_in(1, 255);
+        let bytes_a = g.u64_in(1, 999_999_999);
+        let bytes_b = g.u64_in(1, 999_999_999);
+        let (lo, hi) = if bytes_a <= bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
         for m in machines() {
             let small: Vec<(usize, u64)> = (0..nfiles).map(|r| (r * 7, lo)).collect();
             let large: Vec<(usize, u64)> = (0..nfiles).map(|r| (r * 7, hi)).collect();
             let ts = m.fs.write_phase(nfiles * 7 + 1, &small);
             let tl = m.fs.write_phase(nfiles * 7 + 1, &large);
-            prop_assert!(tl.data_time >= ts.data_time, "{}", m.name);
-            prop_assert!(ts.data_time > 0.0);
+            assert!(tl.data_time >= ts.data_time, "{}", m.name);
+            assert!(ts.data_time > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gather_time_monotone_in_group_and_bytes(
-        g_a in 1usize..512,
-        g_b in 1usize..512,
-        bytes in 1u64..100_000_000,
-    ) {
+#[test]
+fn gather_time_monotone_in_group_and_bytes() {
+    cases(48, |g: &mut Gen| {
+        let g_a = g.usize_in(1, 511);
+        let g_b = g.usize_in(1, 511);
+        let bytes = g.u64_in(1, 99_999_999);
         let (lo, hi) = if g_a <= g_b { (g_a, g_b) } else { (g_b, g_a) };
         for m in machines() {
             let t_lo = m.net.group_gather_time(lo, bytes);
             let t_hi = m.net.group_gather_time(hi, bytes);
-            prop_assert!(t_hi >= t_lo, "{}: groups {lo}/{hi}", m.name);
+            assert!(t_hi >= t_lo, "{}: groups {lo}/{hi}", m.name);
             let t_more = m.net.group_gather_time(lo, bytes * 2);
-            prop_assert!(t_more > t_lo);
+            assert!(t_more > t_lo);
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulated_write_time_positive_and_deterministic(
-        procs_pow in 6u32..14,
-        factor_pick in 0usize..3,
-    ) {
-        let procs = 1usize << procs_pow;
+#[test]
+fn simulated_write_time_positive_and_deterministic() {
+    cases(24, |g: &mut Gen| {
+        let procs = 1usize << g.u64_in(6, 13);
         let factors = [(1, 1, 1), (2, 2, 2), (2, 2, 4)];
-        let f = factors[factor_pick];
+        let f = factors[g.index(3)];
         let decomp = DomainDecomposition::for_procs(Aabb3::new([0.0; 3], [1.0; 3]), procs);
         let counts = vec![32_768u64; procs];
         let factor = PartitionFactor::new(f.0, f.1, f.2);
-        prop_assume!(factor.validate(decomp.dims).is_ok());
+        if factor.validate(decomp.dims).is_err() {
+            return; // factor does not divide this grid; skip the case
+        }
         let plan = plan_write(&decomp, factor, &counts, false).unwrap();
         for m in machines() {
             let a = hpcsim::simulate_spio_write(&plan, &m);
             let b = hpcsim::simulate_spio_write(&plan, &m);
-            prop_assert!(a.total() > 0.0);
-            prop_assert_eq!(a, b, "{} must be deterministic", m.name);
-            prop_assert!(a.throughput() > 0.0);
+            assert!(a.total() > 0.0);
+            assert_eq!(a, b, "{} must be deterministic", m.name);
+            assert!(a.throughput() > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn read_time_monotone_in_dataset_size(
-        files in 1usize..64,
-        per_file_a in 1u64..2_000_000,
-        per_file_b in 1u64..2_000_000,
-        readers in 1usize..32,
-    ) {
+#[test]
+fn read_time_monotone_in_dataset_size() {
+    cases(24, |g: &mut Gen| {
+        let files = g.usize_in(1, 63);
+        let per_file_a = g.u64_in(1, 1_999_999);
+        let per_file_b = g.u64_in(1, 1_999_999);
+        let readers = g.usize_in(1, 31);
         let (lo, hi) = if per_file_a <= per_file_b {
             (per_file_a, per_file_b)
         } else {
@@ -117,7 +122,7 @@ proptest! {
         for m in machines() {
             let t_lo = simulate_read(&plan_box_read(&shape(lo), readers, true), &m).time;
             let t_hi = simulate_read(&plan_box_read(&shape(hi), readers, true), &m).time;
-            prop_assert!(t_hi >= t_lo, "{}: {t_lo} vs {t_hi}", m.name);
+            assert!(t_hi >= t_lo, "{}: {t_lo} vs {t_hi}", m.name);
         }
-    }
+    });
 }

@@ -6,6 +6,7 @@
 //! spio validate <dir>
 //! spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]
 //! spio lod      <dir> [readers]
+//! spio report   <job-report.json>
 //! spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxXPyXPz> \
 //!                  <x0> <y0> <z0> <x1> <y1> <z1>
 //! ```
@@ -19,6 +20,7 @@ fn usage() -> ExitCode {
         "usage:\n  spio inspect  <dir>\n  spio validate <dir>\n  \
          spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]\n  \
          spio lod      <dir> [readers]\n  \
+         spio report   <job-report.json>\n  \
          spio series   <dir>\n  \
          spio render   <dir> <out.ppm>\n  \
          spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxxPyxPz> <x0> <y0> <z0> <x1> <y1> <z1>"
@@ -71,6 +73,10 @@ fn main() -> ExitCode {
                 None => return usage(),
             }
         }
+        ("report", [file]) => std::fs::read_to_string(file)
+            .map_err(Into::into)
+            .and_then(|json| spio_tools::report(&json))
+            .map(|t| print!("{t}")),
         ("series", [dir]) => spio_tools::series_info(&open_dir(dir)).map(|t| print!("{t}")),
         ("render", [dir, out]) => spio_tools::render_ppm(&open_dir(dir), 640, 640)
             .and_then(|img| std::fs::write(out, img).map_err(Into::into))

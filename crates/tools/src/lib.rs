@@ -213,7 +213,8 @@ pub fn lod_stats<S: Storage>(storage: &S, nreaders: usize) -> Result<String, Spi
         out.push_str(&format!(
             "{:>5} {:>11} {:>11}\n",
             l,
-            m.lod.actual_level_size(nreaders as u64, l, m.total_particles),
+            m.lod
+                .actual_level_size(nreaders as u64, l, m.total_particles),
             m.lod.prefix_len(nreaders as u64, l, m.total_particles),
         ));
     }
@@ -299,7 +300,10 @@ pub fn series_info<S: Storage>(storage: &S) -> Result<String, SpioError> {
     if manifest.steps.is_empty() {
         return Ok("no series manifest (or empty series) in this directory\n".to_string());
     }
-    let mut out = format!("{} timesteps\n\nstep  particles  files\n", manifest.steps.len());
+    let mut out = format!(
+        "{} timesteps\n\nstep  particles  files\n",
+        manifest.steps.len()
+    );
     for &step in &manifest.steps {
         let (reader, _) = open_timestep(storage, step)?;
         out.push_str(&format!(
@@ -334,9 +338,22 @@ pub fn render_ppm<S: Storage>(
     let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
     for v in hist {
         let t = (v as f64 / max).powf(0.35);
-        out.extend_from_slice(&[(t * 255.0) as u8, (t * 230.0) as u8, ((1.0 - t) * 160.0 + 40.0 * t) as u8]);
+        out.extend_from_slice(&[
+            (t * 255.0) as u8,
+            (t * 230.0) as u8,
+            ((1.0 - t) * 160.0 + 40.0 * t) as u8,
+        ]);
     }
     Ok(out)
+}
+
+/// Render a serialized [`spio_trace::JobReport`] (the JSON produced by
+/// `JobReport::to_json`) as the human-readable Fig. 6-style breakdown:
+/// per-phase time split, communication matrix, and storage-op totals.
+pub fn report(json: &str) -> Result<String, SpioError> {
+    let r = spio_trace::JobReport::from_json(json)
+        .map_err(|e| SpioError::Format(format!("bad job report: {e}")))?;
+    Ok(r.render())
 }
 
 /// Open an `FsStorage` for a CLI path argument.
@@ -355,10 +372,8 @@ mod tests {
     fn sample_dataset() -> MemStorage {
         let storage = MemStorage::new();
         let s = storage.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(2, 2, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
         run_threaded_collect(4, move |comm| {
             let ps = uniform_patch_particles(&d, comm.rank(), 100, 3);
             SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(1, 2, 1)))
@@ -405,7 +420,8 @@ mod tests {
     fn validate_catches_truncation() {
         let s = sample_dataset();
         let bytes = s.read_file("file_0.spd").unwrap();
-        s.write_file("file_0.spd", &bytes[..bytes.len() - 5]).unwrap();
+        s.write_file("file_0.spd", &bytes[..bytes.len() - 5])
+            .unwrap();
         let report = validate(&s).unwrap();
         assert!(report.problems.iter().any(|p| p.contains("corrupt")));
     }
@@ -466,15 +482,73 @@ mod tests {
     }
 
     #[test]
+    fn traced_job_report_renders_end_to_end() {
+        use spio_comm::TracedComm;
+        use spio_core::{TracedStorage, WriteStats};
+        use spio_trace::{JobReport, Trace};
+
+        // Full pipeline with every instrumentation layer attached: traced
+        // communicator, traced storage, phase-span-recording writer and
+        // reader, all feeding one shared trace.
+        let storage = MemStorage::new();
+        let trace = Trace::collecting();
+        let s = storage.clone();
+        let t = trace.clone();
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
+        let d2 = d.clone();
+        let stats = run_threaded_collect(4, move |comm| {
+            let me = comm.rank();
+            let comm = TracedComm::new(comm, t.clone());
+            let storage = TracedStorage::new(s.clone(), t.clone(), me);
+            let ps = uniform_patch_particles(&d2, me, 200, 11);
+            let stats =
+                SpatialWriter::new(d2.clone(), WriterConfig::new(PartitionFactor::new(2, 1, 1)))
+                    .with_trace(t.clone())
+                    .write(&comm, &ps, &storage)
+                    .unwrap();
+            let reader = DatasetReader::open_traced(&storage, t.clone(), me).unwrap();
+            let patch = d2.patch_bounds(me);
+            let (got, _) = reader.read_box(&storage, &patch).unwrap();
+            assert!(!got.is_empty());
+            stats
+        })
+        .unwrap();
+
+        let report = JobReport::from_events(4, &trace.events());
+        // Comm matrix balances and covers the §3.3 exchange.
+        assert!(report.comm_imbalances().is_empty());
+        assert!(report.total_bytes_sent() > 0);
+        // Trace-derived write phases agree with WriteStats (same clock).
+        let merged = WriteStats::merge_max(&stats);
+        let agg_us = merged.aggregation_time.as_micros() as u64;
+        let got_us = report.phase_max("aggregation").as_micros() as u64;
+        assert!(got_us.abs_diff(agg_us) <= 1, "{got_us} vs {agg_us}");
+
+        // JSON roundtrip through the CLI-facing `report` renderer.
+        let rendered = super::report(&report.to_json()).unwrap();
+        assert!(rendered.contains("job report — 4 ranks"), "{rendered}");
+        assert!(rendered.contains("phase breakdown"), "{rendered}");
+        assert!(rendered.contains("aggregation"), "{rendered}");
+        assert!(rendered.contains("read:box"), "{rendered}");
+        assert!(rendered.contains("communication matrix"), "{rendered}");
+        assert!(
+            rendered.contains("sent == received for every (src, dst, tag)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("write_file"), "{rendered}");
+        // Malformed input errors cleanly.
+        assert!(super::report("not json").is_err());
+    }
+
+    #[test]
     fn convert_fpp_produces_valid_spatial_dataset() {
         use spio_baselines::FppWriter;
         // Build an FPP dataset with 4 writers.
         let src = MemStorage::new();
         let s = src.clone();
-        let d = DomainDecomposition::uniform(
-            Aabb3::new([0.0; 3], [1.0; 3]),
-            GridDims::new(2, 2, 1),
-        );
+        let d =
+            DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
         run_threaded_collect(4, move |comm| {
             let ps = uniform_patch_particles(&d, comm.rank(), 150, 8);
             FppWriter::new().write(&comm, &ps, &s).unwrap();

@@ -1,0 +1,211 @@
+//! # spio-trace
+//!
+//! The observability layer for the I/O system. The paper's whole evaluation
+//! is about *where time goes* — aggregation vs. file I/O (Fig. 6), files
+//! touched per query, bytes moved per rank — and related I/O studies lean on
+//! Darshan-style per-operation records to characterize behaviour. This crate
+//! provides the recording substrate:
+//!
+//! * [`Trace`] — a cloneable handle shared by all ranks of a job. Disabled
+//!   by default ([`Trace::off`]), in which case every recording call is a
+//!   branch on a `None` and performs **no allocation and no locking**.
+//! * [`TraceEvent`] — the three record kinds: per-rank *phase spans*
+//!   (setup / aggregation / shuffle / file-I/O / meta, and read phases), a
+//!   per-`(src, dst, tag)` *communication matrix* entry captured by the
+//!   instrumented `Comm` wrapper in `spio-comm`, and *storage-op records*
+//!   (op, file, bytes, duration) captured by the instrumented `Storage`
+//!   wrapper in `spio-core`.
+//! * [`JobReport`] — events merged into a serializable (JSON) summary that
+//!   `spio report` renders as a Fig. 6-style phase breakdown plus the
+//!   communication matrix.
+
+mod report;
+
+pub use report::{CommEntry, JobReport, PhaseTotal, StorageTotal};
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Message direction for communication-matrix records: each message is
+/// recorded once when posted and once when its receive completes, which is
+/// what lets tests assert byte conservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Sent,
+    Received,
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A rank spent `dur` inside the named phase. Phase names are static
+    /// so recording a span never allocates.
+    Phase {
+        rank: usize,
+        phase: &'static str,
+        dur: Duration,
+    },
+    /// A point-to-point message of `bytes` payload bytes between two ranks.
+    Message {
+        src: usize,
+        dst: usize,
+        tag: u32,
+        bytes: u64,
+        dir: Dir,
+    },
+    /// A Darshan-style storage-operation record.
+    StorageOp {
+        rank: usize,
+        op: &'static str,
+        file: String,
+        bytes: u64,
+        dur: Duration,
+    },
+}
+
+#[derive(Default)]
+struct Buffer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// Recording handle. Cheap to clone; clones share the same buffer, so one
+/// `Trace::collecting()` handed to every rank of a threaded job yields a
+/// single merged event stream.
+#[derive(Clone, Default)]
+pub struct Trace {
+    buffer: Option<Arc<Buffer>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Trace {
+    /// The no-op sink: every recording call returns immediately without
+    /// allocating. This is the default everywhere tracing is optional.
+    pub fn off() -> Trace {
+        Trace { buffer: None }
+    }
+
+    /// An enabled, collecting sink.
+    pub fn collecting() -> Trace {
+        Trace {
+            buffer: Some(Arc::new(Buffer::default())),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.buffer.is_some()
+    }
+
+    /// Record a phase span.
+    #[inline]
+    pub fn phase(&self, rank: usize, phase: &'static str, dur: Duration) {
+        if let Some(buf) = &self.buffer {
+            buf.events
+                .lock()
+                .unwrap()
+                .push(TraceEvent::Phase { rank, phase, dur });
+        }
+    }
+
+    /// Record one side of a point-to-point message.
+    #[inline]
+    pub fn message(&self, src: usize, dst: usize, tag: u32, bytes: u64, dir: Dir) {
+        if let Some(buf) = &self.buffer {
+            buf.events.lock().unwrap().push(TraceEvent::Message {
+                src,
+                dst,
+                tag,
+                bytes,
+                dir,
+            });
+        }
+    }
+
+    /// Record a storage operation. The file name is only materialized when
+    /// the sink is enabled — callers pass `&str` and the disabled path does
+    /// not allocate.
+    #[inline]
+    pub fn storage_op(&self, rank: usize, op: &'static str, file: &str, bytes: u64, dur: Duration) {
+        if let Some(buf) = &self.buffer {
+            buf.events.lock().unwrap().push(TraceEvent::StorageOp {
+                rank,
+                op,
+                file: file.to_string(),
+                bytes,
+                dur,
+            });
+        }
+    }
+
+    /// Snapshot of all events recorded so far (empty for a disabled trace).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.buffer {
+            Some(buf) => buf.events.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.buffer {
+            Some(buf) => buf.events.lock().unwrap().len(),
+            None => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let t = Trace::off();
+        t.phase(0, "setup", Duration::from_millis(1));
+        t.message(0, 1, 2, 100, Dir::Sent);
+        t.storage_op(0, "write_file", "f.spd", 10, Duration::ZERO);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn collecting_shares_buffer_across_clones() {
+        let t = Trace::collecting();
+        let t2 = t.clone();
+        t.phase(0, "setup", Duration::from_millis(1));
+        t2.message(1, 0, 7, 64, Dir::Received);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = Trace::collecting();
+        let handles: Vec<_> = (0..8)
+            .map(|r| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        t.message(r, (r + 1) % 8, 1, i, Dir::Sent);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 800);
+    }
+}

@@ -1,0 +1,467 @@
+//! Merging trace events into a serializable job report.
+
+use crate::{Dir, TraceEvent};
+use spio_util::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulated time one rank spent in one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTotal {
+    pub rank: usize,
+    pub phase: String,
+    pub micros: u64,
+}
+
+/// One cell of the communication matrix: all messages from `src` to `dst`
+/// with `tag`, with both sides of the ledger so imbalances (messages posted
+/// but never received) are visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommEntry {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: u32,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+}
+
+/// A Darshan-style storage-operation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageTotal {
+    pub rank: usize,
+    pub op: String,
+    pub file: String,
+    pub bytes: u64,
+    pub micros: u64,
+}
+
+/// Everything a traced job produced, merged and ready to serialize.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobReport {
+    pub nprocs: usize,
+    pub phases: Vec<PhaseTotal>,
+    pub comm: Vec<CommEntry>,
+    pub storage: Vec<StorageTotal>,
+}
+
+impl JobReport {
+    /// Merge an event stream into a report. Phase spans accumulate per
+    /// `(rank, phase)`; messages accumulate per `(src, dst, tag)`; storage
+    /// ops are kept as individual records, in arrival order.
+    pub fn from_events(nprocs: usize, events: &[TraceEvent]) -> JobReport {
+        let mut phases: BTreeMap<(usize, &str), u64> = BTreeMap::new();
+        let mut comm: BTreeMap<(usize, usize, u32), [u64; 4]> = BTreeMap::new();
+        let mut storage = Vec::new();
+        for ev in events {
+            match ev {
+                TraceEvent::Phase { rank, phase, dur } => {
+                    *phases.entry((*rank, phase)).or_default() += dur.as_micros() as u64;
+                }
+                TraceEvent::Message {
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                    dir,
+                } => {
+                    let cell = comm.entry((*src, *dst, *tag)).or_default();
+                    match dir {
+                        Dir::Sent => {
+                            cell[0] += 1;
+                            cell[1] += *bytes;
+                        }
+                        Dir::Received => {
+                            cell[2] += 1;
+                            cell[3] += *bytes;
+                        }
+                    }
+                }
+                TraceEvent::StorageOp {
+                    rank,
+                    op,
+                    file,
+                    bytes,
+                    dur,
+                } => {
+                    storage.push(StorageTotal {
+                        rank: *rank,
+                        op: op.to_string(),
+                        file: file.clone(),
+                        bytes: *bytes,
+                        micros: dur.as_micros() as u64,
+                    });
+                }
+            }
+        }
+        JobReport {
+            nprocs,
+            phases: phases
+                .into_iter()
+                .map(|((rank, phase), micros)| PhaseTotal {
+                    rank,
+                    phase: phase.to_string(),
+                    micros,
+                })
+                .collect(),
+            comm: comm
+                .into_iter()
+                .map(|((src, dst, tag), c)| CommEntry {
+                    src,
+                    dst,
+                    tag,
+                    msgs_sent: c[0],
+                    bytes_sent: c[1],
+                    msgs_received: c[2],
+                    bytes_received: c[3],
+                })
+                .collect(),
+            storage,
+        }
+    }
+
+    /// Maximum time any rank spent in `phase` — the bulk-synchronous bound
+    /// `WriteStats::merge_max` also computes, which is what the fig6
+    /// cross-check compares against.
+    pub fn phase_max(&self, phase: &str) -> Duration {
+        Duration::from_micros(
+            self.phases
+                .iter()
+                .filter(|p| p.phase == phase)
+                .map(|p| p.micros)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Sum of a phase's time across ranks.
+    pub fn phase_sum(&self, phase: &str) -> Duration {
+        Duration::from_micros(
+            self.phases
+                .iter()
+                .filter(|p| p.phase == phase)
+                .map(|p| p.micros)
+                .sum(),
+        )
+    }
+
+    /// Sorted distinct phase names.
+    pub fn phase_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.phases.iter().map(|p| p.phase.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Matrix cells where the sent and received ledgers disagree (messages
+    /// posted but never received, or bytes corrupted in flight). Empty for
+    /// a conservation-respecting job.
+    pub fn comm_imbalances(&self) -> Vec<&CommEntry> {
+        self.comm
+            .iter()
+            .filter(|c| c.msgs_sent != c.msgs_received || c.bytes_sent != c.bytes_received)
+            .collect()
+    }
+
+    /// Total payload bytes sent (each message counted once).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.comm.iter().map(|c| c.bytes_sent).sum()
+    }
+
+    /// Total bytes moved through storage by `op`.
+    pub fn storage_bytes(&self, op: &str) -> u64 {
+        self.storage
+            .iter()
+            .filter(|s| s.op == op)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    // ---- serialization ----
+
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("rank".into(), Json::u64(p.rank as u64)),
+                    ("phase".into(), Json::str(&p.phase)),
+                    ("micros".into(), Json::u64(p.micros)),
+                ])
+            })
+            .collect();
+        let comm = self
+            .comm
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("src".into(), Json::u64(c.src as u64)),
+                    ("dst".into(), Json::u64(c.dst as u64)),
+                    ("tag".into(), Json::u64(c.tag as u64)),
+                    ("msgs_sent".into(), Json::u64(c.msgs_sent)),
+                    ("bytes_sent".into(), Json::u64(c.bytes_sent)),
+                    ("msgs_received".into(), Json::u64(c.msgs_received)),
+                    ("bytes_received".into(), Json::u64(c.bytes_received)),
+                ])
+            })
+            .collect();
+        let storage = self
+            .storage
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("rank".into(), Json::u64(s.rank as u64)),
+                    ("op".into(), Json::str(&s.op)),
+                    ("file".into(), Json::str(&s.file)),
+                    ("bytes".into(), Json::u64(s.bytes)),
+                    ("micros".into(), Json::u64(s.micros)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("format".into(), Json::str("spio-job-report")),
+            ("version".into(), Json::u64(1)),
+            ("nprocs".into(), Json::u64(self.nprocs as u64)),
+            ("phases".into(), Json::Arr(phases)),
+            ("comm".into(), Json::Arr(comm)),
+            ("storage".into(), Json::Arr(storage)),
+        ])
+        .to_string()
+    }
+
+    pub fn from_json(text: &str) -> Result<JobReport, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("format").and_then(Json::as_str) != Some("spio-job-report") {
+            return Err("not a spio job report".into());
+        }
+        let field = |obj: &Json, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field '{key}'"))
+        };
+        let text_field = |obj: &Json, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let arr = |key: &str| -> Result<&[Json], String> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing array '{key}'"))
+        };
+        let mut report = JobReport {
+            nprocs: field(&doc, "nprocs")? as usize,
+            ..Default::default()
+        };
+        for p in arr("phases")? {
+            report.phases.push(PhaseTotal {
+                rank: field(p, "rank")? as usize,
+                phase: text_field(p, "phase")?,
+                micros: field(p, "micros")?,
+            });
+        }
+        for c in arr("comm")? {
+            report.comm.push(CommEntry {
+                src: field(c, "src")? as usize,
+                dst: field(c, "dst")? as usize,
+                tag: field(c, "tag")? as u32,
+                msgs_sent: field(c, "msgs_sent")?,
+                bytes_sent: field(c, "bytes_sent")?,
+                msgs_received: field(c, "msgs_received")?,
+                bytes_received: field(c, "bytes_received")?,
+            });
+        }
+        for s in arr("storage")? {
+            report.storage.push(StorageTotal {
+                rank: field(s, "rank")? as usize,
+                op: text_field(s, "op")?,
+                file: text_field(s, "file")?,
+                bytes: field(s, "bytes")?,
+                micros: field(s, "micros")?,
+            });
+        }
+        Ok(report)
+    }
+
+    // ---- rendering (the `spio report` subcommand) ----
+
+    /// Human-readable rendering: Fig. 6-style phase breakdown (max across
+    /// ranks, proportional bars) followed by the communication matrix and a
+    /// storage-op summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("job report — {} ranks\n\n", self.nprocs));
+
+        out.push_str("phase breakdown (max across ranks):\n");
+        let names = self.phase_names();
+        let maxima: Vec<(String, u64)> = names
+            .iter()
+            .map(|n| (n.to_string(), self.phase_max(n).as_micros() as u64))
+            .collect();
+        let total: u64 = maxima.iter().map(|(_, us)| us).sum();
+        let widest = maxima.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, us) in &maxima {
+            let frac = if total > 0 {
+                *us as f64 / total as f64
+            } else {
+                0.0
+            };
+            let bar_len = (frac * 40.0).round() as usize;
+            out.push_str(&format!(
+                "  {name:widest$}  {:>12}  {:5.1}%  {}\n",
+                format_micros(*us),
+                frac * 100.0,
+                "#".repeat(bar_len),
+            ));
+        }
+        if total > 0 {
+            out.push_str(&format!(
+                "  {:widest$}  {:>12}\n",
+                "total",
+                format_micros(total)
+            ));
+        }
+
+        out.push_str("\ncommunication matrix (src -> dst):\n");
+        if self.comm.is_empty() {
+            out.push_str("  (no point-to-point messages recorded)\n");
+        } else {
+            out.push_str("  src  dst    tag        msgs        bytes\n");
+            for c in &self.comm {
+                out.push_str(&format!(
+                    "  {:>3}  {:>3}  {:>5}  {:>10}  {:>11}\n",
+                    c.src, c.dst, c.tag, c.msgs_sent, c.bytes_sent
+                ));
+            }
+            let imbalances = self.comm_imbalances();
+            if imbalances.is_empty() {
+                out.push_str(&format!(
+                    "  {} messages, {} bytes; sent == received for every (src, dst, tag)\n",
+                    self.comm.iter().map(|c| c.msgs_sent).sum::<u64>(),
+                    self.total_bytes_sent(),
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  WARNING: {} matrix cells have sent != received\n",
+                    imbalances.len()
+                ));
+            }
+        }
+
+        out.push_str("\nstorage operations:\n");
+        if self.storage.is_empty() {
+            out.push_str("  (none recorded)\n");
+        } else {
+            // Summarize per op kind; individual records stay in the JSON.
+            let mut by_op: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+            for s in &self.storage {
+                let e = by_op.entry(&s.op).or_default();
+                e.0 += 1;
+                e.1 += s.bytes;
+                e.2 += s.micros;
+            }
+            for (op, (count, bytes, micros)) in by_op {
+                out.push_str(&format!(
+                    "  {op:<12} {count:>6} ops  {bytes:>12} bytes  {}\n",
+                    format_micros(micros)
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn format_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn sample_report() -> JobReport {
+        let t = Trace::collecting();
+        t.phase(0, "aggregation", Duration::from_millis(10));
+        t.phase(0, "file_io", Duration::from_millis(30));
+        t.phase(1, "aggregation", Duration::from_millis(25));
+        t.phase(1, "aggregation", Duration::from_millis(5)); // accumulates
+        t.message(1, 0, 2, 512, Dir::Sent);
+        t.message(1, 0, 2, 512, Dir::Received);
+        t.message(0, 0, 2, 64, Dir::Sent);
+        t.storage_op(
+            0,
+            "write_file",
+            "file_0.spd",
+            4096,
+            Duration::from_millis(2),
+        );
+        JobReport::from_events(2, &t.events())
+    }
+
+    #[test]
+    fn phases_accumulate_and_max() {
+        let r = sample_report();
+        assert_eq!(r.phase_max("aggregation"), Duration::from_millis(30));
+        assert_eq!(r.phase_max("file_io"), Duration::from_millis(30));
+        assert_eq!(r.phase_sum("aggregation"), Duration::from_millis(40));
+        assert_eq!(r.phase_max("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn comm_matrix_tracks_both_sides() {
+        let r = sample_report();
+        let cell = r
+            .comm
+            .iter()
+            .find(|c| c.src == 1 && c.dst == 0 && c.tag == 2)
+            .unwrap();
+        assert_eq!(cell.msgs_sent, 1);
+        assert_eq!(cell.bytes_received, 512);
+        // The (0,0,2) message was sent but never received.
+        assert_eq!(r.comm_imbalances().len(), 1);
+        assert_eq!(r.total_bytes_sent(), 576);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample_report();
+        let text = r.to_json();
+        let back = JobReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_non_reports() {
+        assert!(JobReport::from_json("{}").is_err());
+        assert!(JobReport::from_json("not json").is_err());
+        assert!(JobReport::from_json("{\"format\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn render_mentions_phases_and_matrix() {
+        let text = sample_report().render();
+        assert!(text.contains("aggregation"));
+        assert!(text.contains("file_io"));
+        assert!(text.contains("communication matrix"));
+        assert!(text.contains("write_file"));
+        assert!(text.contains("WARNING"), "imbalance must be called out");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = JobReport::from_events(4, &[]);
+        let text = r.render();
+        assert!(text.contains("4 ranks"));
+        assert!(text.contains("no point-to-point"));
+    }
+}

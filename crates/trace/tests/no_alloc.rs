@@ -1,0 +1,59 @@
+//! The zero-cost guarantee: a disabled trace must not allocate, take a
+//! lock, or read a clock. Allocation is the observable one — this test
+//! installs a counting global allocator and drives every recording entry
+//! point with the no-op sink.
+
+use spio_trace::{Dir, Trace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_trace_never_allocates() {
+    let trace = Trace::off();
+    assert!(!trace.is_enabled());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000usize {
+        trace.phase(i % 8, "aggregation", Duration::from_micros(17));
+        trace.message(i % 8, (i + 1) % 8, 2, 4096, Dir::Sent);
+        trace.message(i % 8, (i + 1) % 8, 2, 4096, Dir::Received);
+        trace.storage_op(
+            i % 8,
+            "write_file",
+            "file_0.spd",
+            1 << 20,
+            Duration::from_micros(3),
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "no-op sink must be allocation-free");
+
+    // Sanity: the counter does see allocations when recording is on.
+    let collecting = Trace::collecting();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..64usize {
+        collecting.phase(i, "aggregation", Duration::from_micros(17));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(after > before, "collecting sink records (and allocates)");
+    assert_eq!(collecting.len(), 64);
+}

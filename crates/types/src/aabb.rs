@@ -5,8 +5,6 @@
 //! aggregation partitions of §3.1 disjoint and the spatial metadata file
 //! (§3.5) unambiguous.
 
-use serde::{Deserialize, Serialize};
-
 /// An axis-aligned box in 3-D, half-open: contains `p` iff `lo <= p < hi`
 /// per axis.
 ///
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(b.contains([0.0, 0.5, 0.999]));
 /// assert!(!b.contains([1.0, 0.5, 0.5])); // hi face is exclusive
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb3 {
     pub lo: [f64; 3],
     pub hi: [f64; 3],
@@ -70,9 +68,9 @@ impl Aabb3 {
     /// the result's `hi` equals the point; callers padding for half-open
     /// queries should expand afterwards).
     pub fn expand_to(&mut self, p: [f64; 3]) {
-        for a in 0..3 {
-            self.lo[a] = self.lo[a].min(p[a]);
-            self.hi[a] = self.hi[a].max(p[a]);
+        for (a, &coord) in p.iter().enumerate() {
+            self.lo[a] = self.lo[a].min(coord);
+            self.hi[a] = self.hi[a].max(coord);
         }
     }
 

@@ -10,12 +10,11 @@
 use crate::aabb::Aabb3;
 use crate::grid::GridDims;
 use crate::Rank;
-use serde::{Deserialize, Serialize};
 
 /// A uniform decomposition of a box-shaped simulation domain into
 /// `nx × ny × nz` equally sized patches, one per process, with ranks assigned
 /// in row-major (x fastest) order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomainDecomposition {
     /// Bounds of the entire simulation domain.
     pub bounds: Aabb3,
@@ -69,7 +68,10 @@ mod tests {
     use super::*;
 
     fn decomp() -> DomainDecomposition {
-        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [4.0, 2.0, 2.0]), GridDims::new(4, 2, 2))
+        DomainDecomposition::uniform(
+            Aabb3::new([0.0; 3], [4.0, 2.0, 2.0]),
+            GridDims::new(4, 2, 2),
+        )
     }
 
     #[test]
@@ -109,9 +111,6 @@ mod tests {
     fn out_of_domain_point_clamps() {
         let d = decomp();
         assert_eq!(d.rank_containing([-10.0, -10.0, -10.0]), 0);
-        assert_eq!(
-            d.rank_containing([100.0, 100.0, 100.0]),
-            d.nprocs() - 1
-        );
+        assert_eq!(d.rank_containing([100.0, 100.0, 100.0]), d.nprocs() - 1);
     }
 }

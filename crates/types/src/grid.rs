@@ -1,10 +1,9 @@
 //! Integer grid math: process grids and the aggregation partition factor.
 
 use crate::error::SpioError;
-use serde::{Deserialize, Serialize};
 
 /// Dimensions of a 3-D grid of patches/processes (`nx × ny × nz`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridDims {
     pub nx: usize,
     pub ny: usize,
@@ -53,12 +52,12 @@ impl GridDims {
         let mut best = GridDims::new(n, 1, 1);
         let mut best_score = usize::MAX;
         for a in 1..=n {
-            if n % a != 0 {
+            if !n.is_multiple_of(a) {
                 continue;
             }
             let rem = n / a;
             for b in 1..=rem {
-                if rem % b != 0 {
+                if !rem.is_multiple_of(b) {
                     continue;
                 }
                 let c = rem / b;
@@ -92,7 +91,7 @@ impl GridDims {
 /// // (1,1,1) degenerates to file-per-process.
 /// assert_eq!(PartitionFactor::new(1, 1, 1).file_count(procs), 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartitionFactor {
     pub px: usize,
     pub py: usize,
@@ -101,7 +100,10 @@ pub struct PartitionFactor {
 
 impl PartitionFactor {
     pub fn new(px: usize, py: usize, pz: usize) -> Self {
-        assert!(px > 0 && py > 0 && pz > 0, "partition factor must be positive");
+        assert!(
+            px > 0 && py > 0 && pz > 0,
+            "partition factor must be positive"
+        );
         PartitionFactor { px, py, pz }
     }
 
@@ -218,10 +220,7 @@ mod tests {
     fn file_count_section4_example() {
         // §4: 64 Ki processes, (2,2,2) ⇒ 8 Ki files.
         let procs = GridDims::near_cubic(65_536);
-        assert_eq!(
-            PartitionFactor::new(2, 2, 2).file_count(procs),
-            65_536 / 8
-        );
+        assert_eq!(PartitionFactor::new(2, 2, 2).file_count(procs), 65_536 / 8);
     }
 
     #[test]

@@ -7,13 +7,11 @@
 //! total of 124 bytes per particle. We reproduce that record exactly so the
 //! per-core data volumes match the paper (32 Ki particles ≈ 4 MB, 64 Ki ≈ 8 MB).
 
-use serde::{Deserialize, Serialize};
-
 /// Serialized size of one [`Particle`] in bytes: 15 × f64 + 1 × f32.
 pub const PARTICLE_BYTES: usize = 15 * 8 + 4;
 
 /// A single simulation particle (Uintah material-point-method style record).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Particle {
     /// Spatial position (x, y, z).
     pub position: [f64; 3],

@@ -1,0 +1,54 @@
+//! Tiny timing harness for the `benches/` targets (offline replacement for
+//! Criterion). Reports mean wall time per iteration; no statistics engine,
+//! just enough to compare orders of magnitude against the paper's numbers.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` and print `name: <mean per iter> (<iters> iters)`.
+///
+/// Warm-up runs once, then the measurement loop repeats until at least
+/// `min_total` has elapsed (so fast bodies get enough iterations to mean
+/// something) or `max_iters` is reached (so slow bodies terminate).
+pub fn bench<F: FnMut()>(name: &str, mut f: F) {
+    f(); // warm-up (also surfaces panics before timing)
+    let min_total = Duration::from_millis(200);
+    let max_iters = 1_000_000u64;
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < min_total && iters < max_iters {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+    println!("{name}: {} ({iters} iters)", format_time(per_iter));
+}
+
+/// Pretty-print seconds with an appropriate unit.
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Prevent the optimizer from discarding a value (stable `black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn format_picks_units() {
+        assert!(super::format_time(2.0).ends_with(" s"));
+        assert!(super::format_time(2e-3).ends_with(" ms"));
+        assert!(super::format_time(2e-6).ends_with(" µs"));
+        assert!(super::format_time(2e-9).ends_with(" ns"));
+    }
+}

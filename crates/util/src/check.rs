@@ -1,0 +1,160 @@
+//! Minimal property-test harness (offline replacement for proptest).
+//!
+//! Properties are closures over a [`Gen`] that draw inputs and assert with
+//! the standard macros. [`cases`] runs the closure over a deterministic
+//! sequence of seeds; on failure it reports the case number and seed so the
+//! exact failing input can be replayed with [`cases_seeded`]. There is no
+//! shrinking — the generators draw small values often enough that failures
+//! tend to be readable as-is.
+
+use crate::rng::{splitmix64, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Input source handed to a property closure.
+pub struct Gen {
+    rng: Rng,
+    /// Which case (0-based) this generator belongs to.
+    pub case: u64,
+}
+
+impl Gen {
+    pub fn from_seed(seed: u64, case: u64) -> Self {
+        Gen {
+            rng: Rng::seed_from_u64(seed),
+            case,
+        }
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        self.rng.u8()
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.bool()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.usize_in(lo, hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.u64_in(lo, hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.f64_in(lo, hi)
+    }
+
+    /// Uniform index into `len` elements (0 when `len` is 0).
+    pub fn index(&mut self, len: usize) -> usize {
+        self.rng.index(len)
+    }
+
+    /// Arbitrary bytes with length drawn from `[min_len, max_len)`.
+    pub fn bytes(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let len = self.usize_in(min_len, max_len.max(min_len + 1));
+        (0..len).map(|_| self.u8()).collect()
+    }
+
+    /// `[f64; 3]` with each component in `[lo, hi)`.
+    pub fn f64x3(&mut self, lo: f64, hi: f64) -> [f64; 3] {
+        [
+            self.f64_in(lo, hi),
+            self.f64_in(lo, hi),
+            self.f64_in(lo, hi),
+        ]
+    }
+
+    /// Access the underlying RNG for custom draws.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+}
+
+/// Derive the seed for case `i` of a property identified by `base`.
+fn case_seed(base: u64, i: u64) -> u64 {
+    let mut s = base ^ 0x5be4_df0a_75af_8a21u64.wrapping_mul(i.wrapping_add(1));
+    splitmix64(&mut s)
+}
+
+/// Run `prop` over `n` deterministic cases; panic with case/seed context on
+/// the first failure. `assume`-style early returns are fine: a case that
+/// returns without asserting simply passes.
+pub fn cases<F: Fn(&mut Gen)>(n: u64, prop: F) {
+    for i in 0..n {
+        let seed = case_seed(0xA5A5_0F0F_3C3C_9696, i);
+        run_one(seed, i, &prop);
+    }
+}
+
+/// Replay a single case by seed (printed in a failure message).
+pub fn cases_seeded<F: Fn(&mut Gen)>(seed: u64, prop: F) {
+    run_one(seed, 0, &prop);
+}
+
+fn run_one<F: Fn(&mut Gen)>(seed: u64, case: u64, prop: &F) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Gen::from_seed(seed, case);
+        prop(&mut g);
+    }));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic payload>");
+        panic!("property failed on case {case} (replay seed {seed:#x}): {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        cases(32, |g| {
+            let v = g.usize_in(0, 10);
+            assert!(v < 10);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay seed")]
+    fn failing_property_reports_seed() {
+        cases(16, |g| {
+            let v = g.usize_in(0, 100);
+            assert!(v < 1, "drew {v}");
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let out = std::sync::Mutex::new(Vec::new());
+            cases(8, |g| out.lock().unwrap().push(g.u64()));
+            out.into_inner().unwrap()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

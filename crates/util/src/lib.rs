@@ -1,0 +1,18 @@
+//! # spio-util
+//!
+//! Small, dependency-free building blocks shared across the workspace. The
+//! build environment is fully offline, so everything the repo previously
+//! pulled from crates.io (seeded RNG streams, property-test harness,
+//! temporary directories, JSON for trace reports) lives here instead, as
+//! plain-std implementations sized to what the workspace actually uses.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+pub mod tempdir;
+
+pub use check::{cases, cases_seeded, Gen};
+pub use json::Json;
+pub use rng::Rng;
+pub use tempdir::{tempdir, TempDir};

@@ -10,10 +10,8 @@
 //! global budget stays (approximately) fixed.
 
 use crate::{make_particle, rank_rng, sample_in};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use spio_types::{Aabb3, DomainDecomposition, Particle, Rank};
+use spio_util::Rng;
 
 /// Parameters of a Gaussian-cluster mixture.
 #[derive(Debug, Clone)]
@@ -52,7 +50,7 @@ pub struct ClusterField {
 impl ClusterField {
     /// Place cluster centers deterministically inside `domain`.
     pub fn new(spec: ClusterSpec, domain: &Aabb3, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1A5_7E25);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xC1A5_7E25);
         let centers = (0..spec.clusters)
             .map(|_| sample_in(&mut rng, domain))
             .collect();
@@ -81,7 +79,7 @@ impl ClusterField {
     /// Monte-Carlo estimate of the mean density over `bounds` (used to
     /// apportion the global budget to patches). Deterministic in `seed`.
     pub fn mean_density(&self, bounds: &Aabb3, seed: u64, samples: usize) -> f64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0DD5);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x0DD5);
         let sum: f64 = (0..samples)
             .map(|_| self.density(sample_in(&mut rng, bounds)))
             .sum();
@@ -107,13 +105,7 @@ pub fn cluster_patch_particles(
     // communication is needed.
     let mine = field.mean_density(&bounds, seed.wrapping_add(rank as u64), 256);
     let all: f64 = (0..decomp.nprocs())
-        .map(|r| {
-            field.mean_density(
-                &decomp.patch_bounds(r),
-                seed.wrapping_add(r as u64),
-                256,
-            )
-        })
+        .map(|r| field.mean_density(&decomp.patch_bounds(r), seed.wrapping_add(r as u64), 256))
         .sum();
     let count = if all > 0.0 {
         ((spec.total_particles as f64) * mine / all).round() as usize
@@ -134,7 +126,7 @@ pub fn cluster_patch_particles(
     let mut local: u64 = 0;
     while out.len() < count {
         let p = sample_in(&mut rng, &bounds);
-        if rng.gen::<f64>() * ceiling <= field.density(p) {
+        if rng.f64() * ceiling <= field.density(p) {
             out.push(make_particle(p, rank, local));
             local += 1;
         }

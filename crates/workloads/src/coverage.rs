@@ -105,12 +105,9 @@ pub fn coverage_counts(decomp: &DomainDecomposition, spec: &CoverageSpec) -> Vec
     let region = spec.occupied_region(&decomp.bounds);
     (0..decomp.nprocs())
         .map(|r| {
-            decomp
-                .patch_bounds(r)
-                .intersection(&region)
-                .map_or(0, |o| {
-                    (spec.total_particles as f64 * o.volume() / region.volume()).round() as u64
-                })
+            decomp.patch_bounds(r).intersection(&region).map_or(0, |o| {
+                (spec.total_particles as f64 * o.volume() / region.volume()).round() as u64
+            })
         })
         .collect()
 }
@@ -173,11 +170,8 @@ mod tests {
         let d = decomp();
         let spec = CoverageSpec::new(0.25, 10_000);
         let counts = coverage_counts(&d, &spec);
-        for r in 0..d.nprocs() {
-            assert_eq!(
-                counts[r] as usize,
-                coverage_patch_particles(&d, r, &spec, 9).len()
-            );
+        for (r, &c) in counts.iter().enumerate() {
+            assert_eq!(c as usize, coverage_patch_particles(&d, r, &spec, 9).len());
         }
     }
 
@@ -207,9 +201,9 @@ mod tests {
         assert!(full.iter().all(|&c| c == 100));
         assert_eq!(full.iter().sum::<u64>(), 1600);
         assert_eq!(half.iter().sum::<u64>(), 800, "total shrinks with coverage");
-        for r in 0..d.nprocs() {
+        for (r, &got) in half.iter().enumerate() {
             let expect = if d.patch_coords(r)[0] < 2 { 100 } else { 0 };
-            assert_eq!(half[r], expect);
+            assert_eq!(got, expect);
         }
     }
 }

@@ -5,8 +5,8 @@
 //! much of the domain is empty — an adaptive-aggregation stress case.
 
 use crate::{make_particle, rank_rng};
-use rand::Rng;
 use spio_types::{DomainDecomposition, Particle, Rank};
+use spio_util::Rng;
 
 /// Parameters of the injection jet. The jet travels along +x from the
 /// x = lo face, centered on the (y, z) midpoint of that face.
@@ -37,21 +37,21 @@ impl JetSpec {
     /// Sample one plume position in normalized [0,1)³ coordinates.
     /// Axial density decays linearly toward the tip; radial profile is a
     /// truncated Gaussian widening with depth.
-    fn sample_unit(&self, rng: &mut impl Rng) -> [f64; 3] {
+    fn sample_unit(&self, rng: &mut Rng) -> [f64; 3] {
         // Axial position: triangular density favouring the inlet.
-        let t = 1.0 - (1.0 - rng.gen::<f64>()).sqrt(); // pdf ∝ (1 - t)
+        let t = 1.0 - (1.0 - rng.f64()).sqrt(); // pdf ∝ (1 - t)
         let x = t * self.penetration;
         let radius = self.inlet_radius + (self.outlet_radius - self.inlet_radius) * t;
         // Radial: Gaussian truncated at the cone wall (rejection).
         loop {
-            let dy = (rng.gen::<f64>() * 2.0 - 1.0) * radius;
-            let dz = (rng.gen::<f64>() * 2.0 - 1.0) * radius;
+            let dy = (rng.f64() * 2.0 - 1.0) * radius;
+            let dz = (rng.f64() * 2.0 - 1.0) * radius;
             let r2 = dy * dy + dz * dz;
             if r2 > radius * radius {
                 continue;
             }
             let keep = (-(r2 / (radius * radius)) * 2.0).exp();
-            if rng.gen::<f64>() <= keep {
+            if rng.f64() <= keep {
                 let y = (0.5 + dy).clamp(0.0, 1.0 - 1e-12);
                 let z = (0.5 + dz).clamp(0.0, 1.0 - 1e-12);
                 return [x.min(1.0 - 1e-12), y, z];
@@ -145,11 +145,8 @@ mod tests {
         let d = decomp();
         let spec = small_spec();
         let counts = jet_counts(&d, &spec, 3);
-        for r in 0..d.nprocs() {
-            assert_eq!(
-                counts[r] as usize,
-                jet_patch_particles(&d, r, &spec, 3).len()
-            );
+        for (r, &c) in counts.iter().enumerate() {
+            assert_eq!(c as usize, jet_patch_particles(&d, r, &spec, 3).len());
         }
     }
 

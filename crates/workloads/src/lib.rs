@@ -28,19 +28,17 @@ pub use coverage::{coverage_counts_density, coverage_patch_particles, CoverageSp
 pub use jet::{jet_patch_particles, JetSpec};
 pub use uniform::uniform_patch_particles;
 
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use spio_types::{Aabb3, Particle, Rank};
+use spio_util::Rng;
 
 /// Deterministic per-rank RNG: independent streams for the same global seed.
-pub(crate) fn rank_rng(seed: u64, rank: Rank) -> ChaCha8Rng {
+pub(crate) fn rank_rng(seed: u64, rank: Rank) -> Rng {
     // Mix the rank into the stream with splitmix-style avalanche so
     // neighbouring ranks do not get correlated streams.
     let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+    Rng::seed_from_u64(z ^ (z >> 31))
 }
 
 /// Globally unique particle id: rank in the high bits, local index below.
@@ -50,12 +48,12 @@ pub(crate) fn particle_id(rank: Rank, local: u64) -> u64 {
 }
 
 /// Sample a point uniformly inside `bounds` (half-open).
-pub(crate) fn sample_in(rng: &mut impl Rng, bounds: &Aabb3) -> [f64; 3] {
+pub(crate) fn sample_in(rng: &mut Rng, bounds: &Aabb3) -> [f64; 3] {
     let mut p = [0.0; 3];
-    for a in 0..3 {
-        // gen::<f64>() is in [0, 1); scaling keeps the point inside the
+    for (a, coord) in p.iter_mut().enumerate() {
+        // f64() is in [0, 1); scaling keeps the point inside the
         // half-open box.
-        p[a] = bounds.lo[a] + rng.gen::<f64>() * (bounds.hi[a] - bounds.lo[a]);
+        *coord = bounds.lo[a] + rng.f64() * (bounds.hi[a] - bounds.lo[a]);
     }
     p
 }
@@ -73,15 +71,15 @@ mod tests {
     fn rank_streams_are_independent_and_deterministic() {
         let a1: Vec<u8> = {
             let mut r = rank_rng(42, 0);
-            (0..8).map(|_| r.gen()).collect()
+            (0..8).map(|_| r.u8()).collect()
         };
         let a2: Vec<u8> = {
             let mut r = rank_rng(42, 0);
-            (0..8).map(|_| r.gen()).collect()
+            (0..8).map(|_| r.u8()).collect()
         };
         let b: Vec<u8> = {
             let mut r = rank_rng(42, 1);
-            (0..8).map(|_| r.gen()).collect()
+            (0..8).map(|_| r.u8()).collect()
         };
         assert_eq!(a1, a2, "same (seed, rank) ⇒ same stream");
         assert_ne!(a1, b, "different rank ⇒ different stream");

@@ -12,10 +12,8 @@ use spio_workloads::{coverage_patch_particles, CoverageSpec};
 const RANKS: usize = 64;
 
 fn main() -> Result<(), SpioError> {
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 4, 4),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 4));
     // Particles live only in the x < 0.25 slab, 200k total.
     let spec = CoverageSpec::new(0.25, 200_000);
 

@@ -18,10 +18,8 @@ fn main() -> Result<(), SpioError> {
     let storage = FsStorage::new(&dir);
 
     // A clustered (cosmology-like) dataset with adaptive aggregation.
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 4, 2),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 2));
     let spec = ClusterSpec {
         clusters: 5,
         sigma_frac: 0.07,
@@ -51,7 +49,10 @@ fn main() -> Result<(), SpioError> {
     // 1. Nearest neighbours around a probe point.
     let probe = [0.5, 0.5, 0.5];
     let (knn, stats) = k_nearest(&reader, &storage, probe, 8)?;
-    println!("8 nearest neighbours of {probe:?} (opened {} files):", stats.files_opened);
+    println!(
+        "8 nearest neighbours of {probe:?} (opened {} files):",
+        stats.files_opened
+    );
     for p in &knn {
         println!("  id {:>12}  at {:?}", p.id, p.position);
     }
@@ -68,11 +69,7 @@ fn main() -> Result<(), SpioError> {
     // 3. Density field + Laplacian stencil (edge detector for clusters).
     let field = DensityField::from_dataset(&reader, &storage, [16, 16, 16])?;
     let lap = field.laplacian();
-    let peak = field
-        .cells
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let peak = field.cells.iter().cloned().fold(0.0f64, f64::max);
     let strongest_edge = lap.cells.iter().cloned().fold(f64::MIN, f64::max);
     println!(
         "\ndensity field 16^3: total {} particles, peak cell {}, strongest Laplacian response {:.1}",

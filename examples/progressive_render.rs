@@ -43,10 +43,8 @@ fn main() -> Result<(), SpioError> {
     let storage = FsStorage::new(&dir);
 
     // Write a 300k-particle jet with adaptive aggregation.
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 2, 2),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 2));
     let spec = JetSpec {
         total_particles: 300_000,
         ..JetSpec::default()

@@ -13,10 +13,8 @@ fn main() -> Result<(), SpioError> {
 
     // The simulation: 8 processes in a 2×2×2 decomposition of the unit
     // cube, 10,000 particles each.
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(2, 2, 2),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 2));
     // Aggregate 2×2×1 patches per file ⇒ 2 data files.
     let config = WriterConfig::new(PartitionFactor::new(2, 2, 1));
 

@@ -17,10 +17,8 @@ fn main() -> Result<(), SpioError> {
     let _ = std::fs::remove_dir_all(&dir);
     let storage = FsStorage::new(&dir);
 
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(2, 2, 2),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 2));
 
     // A blob of particles drifting along +x over time. Particles migrate
     // across patch boundaries between checkpoints, so the writer uses the

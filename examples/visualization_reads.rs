@@ -17,10 +17,8 @@ fn main() -> Result<(), SpioError> {
     let storage = FsStorage::new(&dir);
 
     // Write with 64 ranks, aggregating 2x2x2 patches per file ⇒ 8 files.
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 4, 4),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 4, 4));
     let d = decomp.clone();
     let s = storage.clone();
     run_threaded(WRITERS, move |comm| {

@@ -36,8 +36,8 @@ pub use spio_baselines as baselines;
 pub use spio_comm as comm;
 pub use spio_core as core;
 pub use spio_format as format;
-pub use spio_types as types;
 pub use spio_tools as tools;
+pub use spio_types as types;
 pub use spio_workloads as workloads;
 
 /// One-stop imports for examples and downstream users.

@@ -13,10 +13,7 @@ fn write_once(
 ) -> MemStorage {
     let storage = MemStorage::new();
     let s = storage.clone();
-    let d = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 2, 1),
-    );
+    let d = DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 1));
     spio_comm::run_threaded_collect(8, move |comm| {
         use spio_comm::Comm;
         // Uneven loads to exercise the adaptive path.
@@ -51,10 +48,34 @@ fn assert_identical(a: &MemStorage, b: &MemStorage, label: &str) {
 #[test]
 fn repeated_writes_are_byte_identical() {
     for (factor, mode, adaptive, order, label) in [
-        ((2, 2, 1), WriteMode::Aligned, false, LodOrder::Random, "aligned"),
-        ((2, 1, 1), WriteMode::Aligned, true, LodOrder::Random, "adaptive"),
-        ((1, 2, 1), WriteMode::General, false, LodOrder::Random, "general"),
-        ((2, 2, 1), WriteMode::Aligned, false, LodOrder::Stratified, "stratified"),
+        (
+            (2, 2, 1),
+            WriteMode::Aligned,
+            false,
+            LodOrder::Random,
+            "aligned",
+        ),
+        (
+            (2, 1, 1),
+            WriteMode::Aligned,
+            true,
+            LodOrder::Random,
+            "adaptive",
+        ),
+        (
+            (1, 2, 1),
+            WriteMode::General,
+            false,
+            LodOrder::Random,
+            "general",
+        ),
+        (
+            (2, 2, 1),
+            WriteMode::Aligned,
+            false,
+            LodOrder::Stratified,
+            "stratified",
+        ),
     ] {
         // Run several times: thread interleavings must never leak into the
         // output bytes.
@@ -69,10 +90,7 @@ fn repeated_writes_are_byte_identical() {
 #[test]
 fn different_seeds_produce_different_layouts_same_content() {
     use spio_core::DatasetReader;
-    let d = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 2, 1),
-    );
+    let d = DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 1));
     let write_with_seed = |seed: u64| {
         let storage = MemStorage::new();
         let s = storage.clone();

@@ -36,7 +36,7 @@ fn write_uniform(
 
 #[test]
 fn fs_roundtrip_recovers_everything() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = write_uniform(dir.path(), (4, 2, 2), (2, 2, 1), 500, false);
     let reader = DatasetReader::open(&storage).unwrap();
     assert_eq!(reader.meta.total_particles, 16 * 500);
@@ -58,7 +58,7 @@ fn several_factors_produce_identical_datasets() {
     // contain identical particle sets — layout is the only difference.
     let mut reference: Option<Vec<u64>> = None;
     for factor in [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2), (4, 2, 2)] {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = spio_util::tempdir().unwrap();
         let storage = write_uniform(dir.path(), (4, 2, 2), factor, 200, false);
         let reader = DatasetReader::open(&storage).unwrap();
         let (all, _) = reader.read_all(&storage).unwrap();
@@ -73,7 +73,7 @@ fn several_factors_produce_identical_datasets() {
 
 #[test]
 fn parallel_readers_cover_dataset_disjointly() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = write_uniform(dir.path(), (4, 4, 1), (2, 2, 1), 300, false);
     for nreaders in [1usize, 2, 4, 8] {
         let s = storage.clone();
@@ -91,7 +91,7 @@ fn parallel_readers_cover_dataset_disjointly() {
 
 #[test]
 fn lod_read_over_fs_is_progressive_and_complete() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = write_uniform(dir.path(), (2, 2, 2), (2, 2, 2), 1000, false);
     let mut reader = LodReader::open(&storage, 1, 0).unwrap();
     let levels = reader.cursor.num_levels();
@@ -115,12 +115,10 @@ fn lod_read_over_fs_is_progressive_and_complete() {
 
 #[test]
 fn adaptive_cluster_workload_roundtrip() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = FsStorage::new(dir.path());
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 2, 2),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 2));
     let spec = ClusterSpec {
         clusters: 3,
         sigma_frac: 0.06,
@@ -155,12 +153,10 @@ fn general_mode_with_migrated_particles_on_fs() {
     // Simulate a timestep where particles moved out of their owners'
     // patches (no rebalancing yet) — the General path must still produce a
     // valid spatial layout.
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = FsStorage::new(dir.path());
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(2, 2, 1),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
     let s = storage.clone();
     let d = decomp.clone();
     run_threaded(4, move |comm| {
@@ -195,12 +191,10 @@ fn general_mode_with_migrated_particles_on_fs() {
 #[test]
 fn density_range_query_prunes_files_and_matches_scan() {
     // §3.5 extension: per-file scalar ranges prune attribute queries.
-    let dir = tempfile::tempdir().unwrap();
+    let dir = spio_util::tempdir().unwrap();
     let storage = FsStorage::new(dir.path());
-    let decomp = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(4, 1, 1),
-    );
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 1, 1));
     let s = storage.clone();
     let d = decomp.clone();
     run_threaded(4, move |comm| {
@@ -226,11 +220,12 @@ fn density_range_query_prunes_files_and_matches_scan() {
     let (hits, stats) = reader
         .read_box_density(&storage, &reader.meta.domain.clone(), 1001.0, 1002.0)
         .unwrap();
-    assert_eq!(stats.files_opened, 2, "range pruning must skip 2 of 4 files");
+    assert_eq!(
+        stats.files_opened, 2,
+        "range pruning must skip 2 of 4 files"
+    );
     assert_eq!(hits.len(), 400);
-    assert!(hits
-        .iter()
-        .all(|p| (1001.0..=1002.0).contains(&p.density)));
+    assert!(hits.iter().all(|p| (1001.0..=1002.0).contains(&p.density)));
     // Same answer as a full scan + filter.
     let (all, _) = reader.read_all(&storage).unwrap();
     let expected = all

@@ -1,12 +1,12 @@
 //! Failure injection: storage faults and corrupted datasets must surface
 //! as errors (never panics or silent corruption) through the full stack.
 
-use parking_lot::Mutex;
 use spatial_particle_io::prelude::*;
 use spio_core::{DatasetReader, MemStorage};
 use spio_types::SpioError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A storage wrapper that fails operations once a budget is exhausted.
 #[derive(Clone)]
@@ -48,7 +48,10 @@ impl FaultyStorage {
 impl Storage for FaultyStorage {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
         if !Self::take(&self.write_budget) {
-            self.log.lock().push(format!("failed write {name}"));
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("failed write {name}"));
             return Err(SpioError::Io(std::io::Error::other("injected write fault")));
         }
         self.inner.write_file(name, data)
@@ -120,7 +123,7 @@ fn write_faults_on_every_rank_error_cleanly() {
     // Every rank aggregates its own file under (1,1,1), so every rank hits
     // the fault.
     assert!(results.iter().all(Result::is_err));
-    assert_eq!(faulty.log.lock().len(), 4);
+    assert_eq!(faulty.log.lock().unwrap().len(), 4);
 }
 
 #[test]

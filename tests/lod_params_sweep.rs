@@ -8,10 +8,7 @@ use spio_core::{DatasetReader, LodCursor, MemStorage};
 fn write_with_lod(p: u64, s: u64, per_rank: usize) -> MemStorage {
     let storage = MemStorage::new();
     let st = storage.clone();
-    let d = DomainDecomposition::uniform(
-        Aabb3::new([0.0; 3], [1.0; 3]),
-        GridDims::new(2, 2, 1),
-    );
+    let d = DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
     spio_comm::run_threaded_collect(4, move |comm| {
         use spio_comm::Comm;
         let ps = uniform_patch_particles(&d, comm.rank(), per_rank, 31);
