@@ -5,6 +5,9 @@ cd "$(dirname "$0")"
 
 cargo build --workspace --release
 cargo test -q --workspace
+# The resilience suite is the gate for storage-fault behaviour; run it
+# explicitly so a filtered or partial test invocation cannot skip it.
+cargo test -q --test failure_injection
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 

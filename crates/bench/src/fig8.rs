@@ -122,7 +122,10 @@ mod tests {
         for machine in [theta(), workstation()] {
             let pts = lod_sweep(&machine);
             let full_lod = pts.last().unwrap();
-            assert_eq!(full_lod.bytes, (1u64 << 31) * 124, "all particles read");
+            // Full payload plus each file's header + checksum-footer fetch.
+            let expect = (1u64 << 31) * 124
+                + 8192 * spio_format::data_file::lod_open_overhead((1 << 31) / 8192);
+            assert_eq!(full_lod.bytes, expect, "all particles read");
             let fig7 = read_scaling(&machine, &[64]);
             let fig7_time = time_of(&fig7, Case::AggWithMeta, 64);
             let ratio = full_lod.time / fig7_time;

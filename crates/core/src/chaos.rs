@@ -1,0 +1,431 @@
+//! Seeded chaos-injection storage backend.
+//!
+//! Grown out of the ad-hoc `FaultyStorage` the failure-injection tests
+//! used: a first-class [`Storage`] wrapper that injects the fault classes a
+//! parallel file system actually exhibits, from a seeded RNG so every
+//! schedule is reproducible. Tests and benches wrap any backend in
+//! [`ChaosStorage`] to prove the stack degrades instead of corrupting:
+//!
+//! * **Transient faults** — an op fails once with [`SpioError::Io`]; the
+//!   same op retried succeeds. What [`crate::RetryStorage`] absorbs.
+//! * **Persistent faults** — a file is *poisoned*: every subsequent op on
+//!   it fails. What `read_box_partial` degrades around.
+//! * **Torn writes** — a prefix of the data is persisted, then the write
+//!   reports failure. What atomic write-then-rename and
+//!   `DatasetReader::open` validation must tolerate.
+//! * **Bit flips** — a read returns successfully with one bit silently
+//!   flipped. What format-v2 checksums must catch.
+//! * **Budgets** — the first `n` reads/writes succeed and all later ones
+//!   fail: deterministic "storage died mid-job" schedules.
+//!
+//! Only payload ops (`write_file`, `write_range`, `read_file`,
+//! `read_range`) are faultable; `file_size` and `exists` pass through, so
+//! fault schedules stay easy to reason about.
+
+use crate::storage::Storage;
+use spio_types::SpioError;
+use spio_util::Rng;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// What to inject, and how often. The default injects nothing.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for all randomized decisions (fault rolls, tear points, flip
+    /// positions). Same seed + same op sequence → same chaos.
+    pub seed: u64,
+    /// Probability an eligible read op faults.
+    pub read_fault_rate: f64,
+    /// Probability an eligible write op faults.
+    pub write_fault_rate: f64,
+    /// Of randomly injected faults, the fraction that are transient; the
+    /// rest poison the file persistently.
+    pub transient_ratio: f64,
+    /// Deterministic schedule overriding the random rates: faultable ops
+    /// `1, 1+n, 1+2n, …` (1-based) fail with a transient fault. `Some(1)`
+    /// makes every op fail — a persistent outage.
+    pub transient_every: Option<u64>,
+    /// Probability a `write_file` is torn: a random strict prefix is
+    /// persisted and the op reports failure.
+    pub torn_write_rate: f64,
+    /// Probability a successful read comes back with one bit flipped.
+    pub bit_flip_rate: f64,
+    /// Writes allowed before all writes fail (`None` = unlimited).
+    pub write_budget: Option<u64>,
+    /// Reads allowed before all reads fail (`None` = unlimited).
+    pub read_budget: Option<u64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            read_fault_rate: 0.0,
+            write_fault_rate: 0.0,
+            transient_ratio: 1.0,
+            transient_every: None,
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+            write_budget: None,
+            read_budget: None,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Budget-only config: first `writes` writes and `reads` reads succeed,
+    /// later ones fail (the old `FaultyStorage` behaviour).
+    pub fn budgets(writes: u64, reads: u64) -> Self {
+        ChaosConfig {
+            write_budget: Some(writes),
+            read_budget: Some(reads),
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// Counters of everything injected so far — for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Faults injected by `transient_every` or the transient share of the
+    /// random rates.
+    pub transient_faults: u64,
+    /// Random faults that poisoned a file, plus every op rejected because
+    /// its file was already poisoned.
+    pub persistent_faults: u64,
+    /// Writes that persisted only a prefix.
+    pub torn_writes: u64,
+    /// Reads returned with a silently flipped bit.
+    pub bit_flips: u64,
+    /// Ops rejected by an exhausted read/write budget.
+    pub budget_faults: u64,
+}
+
+impl ChaosStats {
+    /// Total operations that returned an injected error.
+    pub fn total_faults(&self) -> u64 {
+        self.transient_faults + self.persistent_faults + self.torn_writes + self.budget_faults
+    }
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    rng: Rng,
+    /// 1-based index of the next faultable op (for `transient_every`).
+    next_op: u64,
+    poisoned: HashSet<String>,
+    write_budget: Option<u64>,
+    read_budget: Option<u64>,
+    stats: ChaosStats,
+}
+
+enum Verdict {
+    Proceed,
+    /// Fail with an I/O error (transient, persistent or budget — already
+    /// counted).
+    Fault(&'static str),
+    /// Persist `data[..tear_at]` then fail.
+    Tear(usize),
+}
+
+/// A [`Storage`] wrapper injecting seeded faults per a [`ChaosConfig`].
+#[derive(Debug, Clone)]
+pub struct ChaosStorage<S: Storage> {
+    inner: S,
+    config: ChaosConfig,
+    state: Arc<Mutex<ChaosState>>,
+}
+
+impl<S: Storage> ChaosStorage<S> {
+    pub fn new(inner: S, config: ChaosConfig) -> Self {
+        let state = ChaosState {
+            rng: Rng::seed_from_u64(config.seed),
+            next_op: 1,
+            poisoned: HashSet::new(),
+            write_budget: config.write_budget,
+            read_budget: config.read_budget,
+            stats: ChaosStats::default(),
+        };
+        ChaosStorage {
+            inner,
+            config,
+            state: Arc::new(Mutex::new(state)),
+        }
+    }
+
+    /// The wrapped backend — handy for seeding files without chaos.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Explicitly poison `name`: every subsequent op on it fails. Lets
+    /// tests stage "one bad file" scenarios without probabilistic config.
+    pub fn poison(&self, name: &str) {
+        self.state.lock().unwrap().poisoned.insert(name.to_string());
+    }
+
+    /// Decide the fate of one faultable op. `write` selects which budget
+    /// and rate apply; `len` is the write length (for tear points).
+    fn roll(&self, name: &str, write: bool, len: usize) -> Verdict {
+        let st = &mut *self.state.lock().unwrap();
+        let budget = if write {
+            &mut st.write_budget
+        } else {
+            &mut st.read_budget
+        };
+        if let Some(b) = budget {
+            if *b == 0 {
+                st.stats.budget_faults += 1;
+                return Verdict::Fault("injected budget fault");
+            }
+            *b -= 1;
+        }
+        if st.poisoned.contains(name) {
+            st.stats.persistent_faults += 1;
+            return Verdict::Fault("injected persistent fault");
+        }
+        let op = st.next_op;
+        st.next_op += 1;
+        if let Some(every) = self.config.transient_every {
+            if every > 0 && (op - 1).is_multiple_of(every) {
+                st.stats.transient_faults += 1;
+                return Verdict::Fault("injected transient fault");
+            }
+        }
+        let rate = if write {
+            self.config.write_fault_rate
+        } else {
+            self.config.read_fault_rate
+        };
+        if rate > 0.0 && st.rng.f64() < rate {
+            if st.rng.f64() < self.config.transient_ratio {
+                st.stats.transient_faults += 1;
+                return Verdict::Fault("injected transient fault");
+            }
+            st.poisoned.insert(name.to_string());
+            st.stats.persistent_faults += 1;
+            return Verdict::Fault("injected persistent fault");
+        }
+        if write
+            && len > 0
+            && self.config.torn_write_rate > 0.0
+            && st.rng.f64() < self.config.torn_write_rate
+        {
+            st.stats.torn_writes += 1;
+            return Verdict::Tear(st.rng.u64_below(len as u64) as usize);
+        }
+        Verdict::Proceed
+    }
+
+    /// Maybe flip one bit of a successful read's buffer.
+    fn maybe_flip(&self, buf: &mut [u8]) {
+        if buf.is_empty() || self.config.bit_flip_rate <= 0.0 {
+            return;
+        }
+        let st = &mut *self.state.lock().unwrap();
+        if st.rng.f64() < self.config.bit_flip_rate {
+            let byte = st.rng.u64_below(buf.len() as u64) as usize;
+            let bit = (st.rng.next_u64() % 8) as u8;
+            buf[byte] ^= 1 << bit;
+            st.stats.bit_flips += 1;
+        }
+    }
+}
+
+fn fault(msg: &'static str) -> SpioError {
+    SpioError::Io(std::io::Error::other(msg))
+}
+
+impl<S: Storage> Storage for ChaosStorage<S> {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+        match self.roll(name, true, data.len()) {
+            Verdict::Proceed => self.inner.write_file(name, data),
+            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Tear(at) => {
+                let _ = self.inner.write_file(name, &data[..at]);
+                Err(fault("injected torn write"))
+            }
+        }
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+        match self.roll(name, false, 0) {
+            Verdict::Proceed => {
+                let mut buf = self.inner.read_file(name)?;
+                self.maybe_flip(&mut buf);
+                Ok(buf)
+            }
+            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Tear(_) => unreachable!("reads never tear"),
+        }
+    }
+
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
+        match self.roll(name, false, 0) {
+            Verdict::Proceed => {
+                let mut buf = self.inner.read_range(name, start, end)?;
+                self.maybe_flip(&mut buf);
+                Ok(buf)
+            }
+            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Tear(_) => unreachable!("reads never tear"),
+        }
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+        self.inner.file_size(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
+        match self.roll(name, true, data.len()) {
+            Verdict::Proceed => self.inner.write_range(name, offset, data),
+            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Tear(at) => {
+                let _ = self.inner.write_range(name, offset, &data[..at]);
+                Err(fault("injected torn write"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn default_config_is_transparent() {
+        let chaos = ChaosStorage::new(MemStorage::new(), ChaosConfig::default());
+        chaos.write_file("a", &[1, 2, 3]).unwrap();
+        assert_eq!(chaos.read_file("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(chaos.read_range("a", 1, 3).unwrap(), vec![2, 3]);
+        assert_eq!(chaos.file_size("a").unwrap(), 3);
+        assert_eq!(chaos.stats(), ChaosStats::default());
+    }
+
+    #[test]
+    fn budgets_exhaust_like_faulty_storage() {
+        let chaos = ChaosStorage::new(MemStorage::new(), ChaosConfig::budgets(1, 1));
+        chaos.write_file("a", &[1]).unwrap();
+        assert!(matches!(chaos.write_file("b", &[2]), Err(SpioError::Io(_))));
+        assert_eq!(chaos.read_file("a").unwrap(), vec![1]);
+        assert!(chaos.read_file("a").is_err());
+        assert_eq!(chaos.stats().budget_faults, 2);
+    }
+
+    #[test]
+    fn transient_every_schedule_is_exact() {
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                transient_every: Some(3),
+                ..ChaosConfig::default()
+            },
+        );
+        chaos.inner().write_file("a", &[7]).unwrap();
+        // Ops 1, 4, 7 fault; 2, 3, 5, 6, 8 succeed.
+        let outcomes: Vec<bool> = (0..8).map(|_| chaos.read_file("a").is_ok()).collect();
+        assert_eq!(
+            outcomes,
+            vec![false, true, true, false, true, true, false, true]
+        );
+        assert_eq!(chaos.stats().transient_faults, 3);
+    }
+
+    #[test]
+    fn poisoned_files_fail_persistently_others_work() {
+        let chaos = ChaosStorage::new(MemStorage::new(), ChaosConfig::default());
+        chaos.write_file("good", &[1]).unwrap();
+        chaos.write_file("bad", &[2]).unwrap();
+        chaos.poison("bad");
+        for _ in 0..3 {
+            assert!(matches!(chaos.read_file("bad"), Err(SpioError::Io(_))));
+            assert_eq!(chaos.read_file("good").unwrap(), vec![1]);
+        }
+        assert_eq!(chaos.stats().persistent_faults, 3);
+    }
+
+    #[test]
+    fn torn_writes_persist_a_strict_prefix() {
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                seed: 11,
+                torn_write_rate: 1.0,
+                ..ChaosConfig::default()
+            },
+        );
+        let data = vec![0xAB; 100];
+        assert!(chaos.write_file("t", &data).is_err());
+        let stats = chaos.stats();
+        assert_eq!(stats.torn_writes, 1);
+        // Whatever landed is shorter than the intended write.
+        let on_disk = chaos.inner().read_file("t").map(|d| d.len()).unwrap_or(0);
+        assert!(on_disk < data.len(), "torn write persisted {on_disk} bytes");
+    }
+
+    #[test]
+    fn bit_flips_corrupt_silently() {
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                seed: 5,
+                bit_flip_rate: 1.0,
+                ..ChaosConfig::default()
+            },
+        );
+        let data = vec![0u8; 64];
+        chaos.write_file("f", &data).unwrap();
+        let got = chaos.read_file("f").unwrap(); // Ok — corruption is silent
+        let flipped: u32 = got
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flips per affected read");
+        assert_eq!(chaos.stats().bit_flips, 1);
+    }
+
+    #[test]
+    fn random_faults_are_reproducible_across_seeds() {
+        let run = |seed: u64| -> Vec<bool> {
+            let chaos = ChaosStorage::new(
+                MemStorage::new(),
+                ChaosConfig {
+                    seed,
+                    read_fault_rate: 0.5,
+                    transient_ratio: 1.0,
+                    ..ChaosConfig::default()
+                },
+            );
+            chaos.inner().write_file("a", &[1]).unwrap();
+            (0..32).map(|_| chaos.read_file("a").is_ok()).collect()
+        };
+        assert_eq!(run(99), run(99), "same seed, same schedule");
+        assert_ne!(run(99), run(100), "different seed, different schedule");
+        let outcomes = run(99);
+        assert!(outcomes.iter().any(|&ok| ok) && outcomes.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = ChaosStorage::new(MemStorage::new(), ChaosConfig::budgets(1, u64::MAX));
+        let b = a.clone();
+        a.write_file("x", &[1]).unwrap();
+        assert!(b.write_file("y", &[2]).is_err(), "budget is shared");
+        assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -21,9 +21,11 @@
 //! [`plan`] module.
 
 pub mod adaptive;
+pub mod chaos;
 pub mod grid;
 pub mod plan;
 pub mod reader;
+pub mod retry;
 pub mod shuffle;
 pub mod stats;
 pub mod storage;
@@ -31,9 +33,13 @@ pub mod timeseries;
 pub mod writer;
 
 pub use adaptive::AdaptiveGrid;
+pub use chaos::{ChaosConfig, ChaosStats, ChaosStorage};
 pub use grid::{AggregationGrid, Partition};
 pub use plan::{ReadPlan, WritePlan};
-pub use reader::{BoxQueryReader, DatasetReader, LodCursor, LodReader, RestartReader};
+pub use reader::{
+    BoxQueryReader, DatasetReader, FileOutcome, LodCursor, LodReader, PartialRead, RestartReader,
+};
+pub use retry::{RetryPolicy, RetryStorage};
 pub use shuffle::LodOrder;
 pub use stats::{ReadStats, WriteStats};
 pub use storage::{FsStorage, MemStorage, Storage, TracedStorage};

@@ -12,7 +12,7 @@
 
 use crate::adaptive::AdaptiveGrid;
 use crate::grid::AggregationGrid;
-use spio_format::data_file::HEADER_BYTES;
+use spio_format::data_file::{encoded_file_len, lod_open_overhead};
 use spio_format::LodParams;
 use spio_types::{
     Aabb3, DomainDecomposition, GridDims, PartitionFactor, Rank, SpioError, PARTICLE_BYTES,
@@ -140,7 +140,8 @@ pub fn plan_write_on_grid(
         shuffle_particles.push(total);
         file_writes.push(FileWriteRec {
             rank: part.agg_rank,
-            bytes: HEADER_BYTES as u64 + total * PARTICLE_BYTES as u64,
+            // Format v2: header + payload + checksum footer.
+            bytes: encoded_file_len(total),
         });
     }
     Ok(WritePlan {
@@ -238,7 +239,7 @@ pub fn plan_box_read(shape: &DatasetShape, nreaders: usize, with_metadata: bool)
                 true
             };
             if touch {
-                let bytes = HEADER_BYTES as u64 + count * PARTICLE_BYTES as u64;
+                let bytes = encoded_file_len(*count);
                 reader.opens += 1;
                 reader.bytes += bytes;
                 reads.push(FileReadRec { rank, file, bytes });
@@ -267,7 +268,14 @@ pub fn plan_lod_read(shape: &DatasetShape, nreaders: usize, level: u32) -> ReadP
     for (i, &(_, count)) in shape.files.iter().enumerate() {
         let rank = i % nreaders;
         let target = LodParams::file_prefix(count, shape.total_particles, global_prefix);
-        let bytes = target * PARTICLE_BYTES as u64;
+        // A touched file pays a one-time open overhead (header + checksum
+        // footer fetch, matching `LodCursor`'s first-touch reads) plus the
+        // prefix payload.
+        let bytes = if target > 0 {
+            lod_open_overhead(count) + target * PARTICLE_BYTES as u64
+        } else {
+            0
+        };
         per_reader[rank].opens += 1;
         per_reader[rank].bytes += bytes;
         reads.push(FileReadRec {
@@ -306,12 +314,12 @@ mod tests {
             .data_messages
             .iter()
             .all(|m| m.bytes == 100 * PARTICLE_BYTES as u64));
-        // File sizes: header + 400 particles.
+        // File sizes: header + 400 particles + checksum footer.
         assert!(plan
             .file_writes
             .iter()
-            .all(|w| w.bytes == HEADER_BYTES as u64 + 400 * PARTICLE_BYTES as u64));
-        assert_eq!(plan.storage_bytes(), 4 * (HEADER_BYTES as u64 + 400 * 124));
+            .all(|w| w.bytes == encoded_file_len(400)));
+        assert_eq!(plan.storage_bytes(), 4 * encoded_file_len(400));
     }
 
     #[test]
@@ -360,9 +368,8 @@ mod tests {
         let plan = plan_write(&d, PartitionFactor::new(2, 2, 2), &counts, false).unwrap();
         assert_eq!(plan.partition_count, 8_192);
         assert_eq!(plan.data_messages.len(), 65_536);
-        // ~4 MB per rank, 256 GB total + headers.
-        let payload = 65_536u64 * 32_768 * PARTICLE_BYTES as u64;
-        assert_eq!(plan.storage_bytes(), payload + 8_192 * HEADER_BYTES as u64);
+        // ~4 MB per rank, 256 GB total + per-file headers and footers.
+        assert_eq!(plan.storage_bytes(), 8_192 * encoded_file_len(8 * 32_768),);
     }
 
     fn shape_4files() -> DatasetShape {
@@ -384,10 +391,12 @@ mod tests {
         assert!(with.total_opens() < without.total_opens());
         assert!(with.total_bytes() < without.total_bytes());
         // Without metadata, every reader pays the full dataset.
-        assert!(without
-            .per_reader
-            .iter()
-            .all(|r| r.bytes == shape.files.iter().map(|&(_, c)| 96 + c * 124).sum::<u64>()));
+        assert!(without.per_reader.iter().all(|r| r.bytes
+            == shape
+                .files
+                .iter()
+                .map(|&(_, c)| encoded_file_len(c))
+                .sum::<u64>()));
     }
 
     #[test]
@@ -400,7 +409,7 @@ mod tests {
             shape
                 .files
                 .iter()
-                .map(|&(_, c)| HEADER_BYTES as u64 + c * PARTICLE_BYTES as u64)
+                .map(|&(_, c)| encoded_file_len(c))
                 .sum::<u64>()
         );
     }
@@ -413,8 +422,12 @@ mod tests {
         let last = plan_lod_read(&shape, 1, 10);
         assert!(l0.total_bytes() < l2.total_bytes());
         assert!(l2.total_bytes() < last.total_bytes());
-        // Reading all levels transfers every particle exactly once.
-        assert_eq!(last.total_bytes(), 1600 * PARTICLE_BYTES as u64);
+        // Reading all levels transfers every particle exactly once, plus
+        // each file's one-time header + footer fetch.
+        assert_eq!(
+            last.total_bytes(),
+            1600 * PARTICLE_BYTES as u64 + 4 * lod_open_overhead(400)
+        );
     }
 
     #[test]

@@ -12,10 +12,13 @@
 use crate::stats::ReadStats;
 use crate::storage::Storage;
 use spio_comm::Comm;
-use spio_format::data_file::{decode_data_file, payload_range};
+use spio_format::data_file::{
+    decode_data_file, footer_range, payload_range, DataFileHeader, HEADER_BYTES,
+};
 use spio_format::{LodParams, SpatialMetadata, META_FILE_NAME};
 use spio_trace::Trace;
-use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, Rank, SpioError};
+use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, Rank, SpioError, PARTICLE_BYTES};
+use spio_util::Crc32;
 use std::time::Instant;
 
 /// Phase-span names the read path records into an attached [`Trace`].
@@ -25,6 +28,7 @@ pub mod phases {
     pub const SCAN: &str = "read:scan";
     pub const RANGE: &str = "read:range";
     pub const LOD: &str = "read:lod";
+    pub const PARTIAL: &str = "read:partial";
 }
 
 /// A handle to a written dataset: the parsed spatial metadata.
@@ -115,9 +119,13 @@ impl DatasetReader {
             stats.files_opened += 1;
             stats.bytes_read += bytes.len() as u64;
             let (_, particles) = decode_data_file(&bytes)?;
+            // Count discards from what was actually decoded, not from the
+            // metadata's particle count: a tampered or stale metadata entry
+            // must not underflow this subtraction.
+            let decoded = particles.len();
             let before = out.len();
             out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
-            stats.particles_discarded += entry.particle_count - (out.len() - before) as u64;
+            stats.particles_discarded += (decoded - (out.len() - before)) as u64;
         }
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
@@ -168,6 +176,103 @@ impl DatasetReader {
         storage: &S,
     ) -> Result<(Vec<Particle>, ReadStats), SpioError> {
         self.read_box(storage, &self.meta.domain.clone())
+    }
+
+    /// Box query with graceful degradation: like [`DatasetReader::read_box`]
+    /// but one unreadable or corrupt file does not fail the whole query.
+    /// Every intersecting file gets a [`FileOutcome`]; particles from the
+    /// files that *did* read land in [`PartialRead::particles`]. A
+    /// visualization client renders what arrived and reports the holes.
+    pub fn read_box_partial<S: Storage>(&self, storage: &S, query: &Aabb3) -> PartialRead {
+        let t0 = Instant::now();
+        let mut stats = ReadStats::default();
+        let mut out = Vec::new();
+        let mut outcomes = Vec::new();
+        for idx in self.meta.files_intersecting(query) {
+            let entry = &self.meta.entries[idx];
+            let name = entry.file_name();
+            let decoded = storage
+                .read_file(&name)
+                .and_then(|bytes| {
+                    stats.files_opened += 1;
+                    stats.bytes_read += bytes.len() as u64;
+                    decode_data_file(&bytes)
+                })
+                .map(|(_, particles)| particles);
+            match decoded {
+                Ok(particles) => {
+                    let decoded = particles.len();
+                    let before = out.len();
+                    if query_contains_box(query, &entry.bounds) {
+                        out.extend(particles);
+                    } else {
+                        out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
+                    }
+                    let kept = (out.len() - before) as u64;
+                    stats.particles_discarded += decoded as u64 - kept;
+                    outcomes.push(FileOutcome {
+                        file: name,
+                        particles: kept,
+                        error: None,
+                    });
+                }
+                Err(e) => outcomes.push(FileOutcome {
+                    file: name,
+                    particles: 0,
+                    error: Some(e),
+                }),
+            }
+        }
+        stats.particles_read = out.len() as u64;
+        stats.time = t0.elapsed();
+        self.trace.phase(self.rank, phases::PARTIAL, stats.time);
+        PartialRead {
+            particles: out,
+            outcomes,
+            stats,
+        }
+    }
+}
+
+/// Per-file result of a [`DatasetReader::read_box_partial`] query.
+#[derive(Debug)]
+pub struct FileOutcome {
+    /// Data-file name.
+    pub file: String,
+    /// Particles this file contributed to the result.
+    pub particles: u64,
+    /// Why the file contributed nothing (`None` = read fine).
+    pub error: Option<SpioError>,
+}
+
+impl FileOutcome {
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Result of a degraded box query: whatever could be read, plus what
+/// couldn't and why.
+#[derive(Debug)]
+pub struct PartialRead {
+    /// Particles from every file that read and decoded cleanly.
+    pub particles: Vec<Particle>,
+    /// One entry per file the query touched, in metadata order.
+    pub outcomes: Vec<FileOutcome>,
+    /// I/O stats over the successful reads.
+    pub stats: ReadStats,
+}
+
+impl PartialRead {
+    /// Did every touched file read cleanly? If so the result is identical
+    /// to [`DatasetReader::read_box`].
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(FileOutcome::is_ok)
+    }
+
+    /// The outcomes that failed.
+    pub fn failures(&self) -> Vec<&FileOutcome> {
+        self.outcomes.iter().filter(|o| !o.is_ok()).collect()
     }
 }
 
@@ -254,6 +359,88 @@ struct LodFile {
     name: String,
     total: u64,
     read_so_far: u64,
+    verify: FileVerify,
+}
+
+/// Per-file integrity state for ranged LOD reads.
+enum FileVerify {
+    /// Header not fetched yet — resolved on this file's first range read.
+    Unopened,
+    /// v1 file (or checksums disabled): nothing to verify.
+    Plain,
+    /// v2 checksummed file: the footer's chunk CRCs plus a running CRC over
+    /// the payload prefix streamed so far.
+    Checksummed(ChunkVerifier),
+}
+
+/// Streams payload bytes and verifies each completed checksum chunk.
+///
+/// LOD levels extend a file's prefix by contiguous ranged reads, so a
+/// single running CRC suffices: feed every fetched byte, and at each chunk
+/// boundary compare against the footer and reset. The final partial chunk
+/// is verified when the prefix reaches the end of the file; a prefix that
+/// stops mid-chunk leaves only that chunk's tail unverified — without
+/// re-reading anything, that is the strongest guarantee available.
+struct ChunkVerifier {
+    chunk_bytes: u64,
+    crcs: Vec<u32>,
+    running: Crc32,
+    bytes_in_chunk: u64,
+    next_chunk: usize,
+}
+
+impl ChunkVerifier {
+    fn new(header: &DataFileHeader, crcs: Vec<u32>) -> Self {
+        ChunkVerifier {
+            chunk_bytes: header.checksum_chunk as u64 * PARTICLE_BYTES as u64,
+            crcs,
+            running: Crc32::new(),
+            bytes_in_chunk: 0,
+            next_chunk: 0,
+        }
+    }
+
+    fn mismatch(&self, name: &str) -> SpioError {
+        SpioError::Format(format!(
+            "payload checksum mismatch in chunk {} of '{name}'",
+            self.next_chunk
+        ))
+    }
+
+    /// Feed the next contiguous slice of payload, checking every chunk it
+    /// completes.
+    fn absorb(&mut self, name: &str, mut bytes: &[u8]) -> Result<(), SpioError> {
+        while !bytes.is_empty() {
+            let room = (self.chunk_bytes - self.bytes_in_chunk) as usize;
+            let take = room.min(bytes.len());
+            self.running.update(&bytes[..take]);
+            self.bytes_in_chunk += take as u64;
+            bytes = &bytes[take..];
+            if self.bytes_in_chunk == self.chunk_bytes {
+                if self.crcs.get(self.next_chunk) != Some(&self.running.finalize()) {
+                    return Err(self.mismatch(name));
+                }
+                self.running.reset();
+                self.bytes_in_chunk = 0;
+                self.next_chunk += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The prefix now covers the whole file: verify the trailing partial
+    /// chunk, if any.
+    fn finish(&mut self, name: &str) -> Result<(), SpioError> {
+        if self.bytes_in_chunk > 0 {
+            if self.crcs.get(self.next_chunk) != Some(&self.running.finalize()) {
+                return Err(self.mismatch(name));
+            }
+            self.running.reset();
+            self.bytes_in_chunk = 0;
+            self.next_chunk += 1;
+        }
+        Ok(())
+    }
 }
 
 impl LodCursor {
@@ -268,6 +455,7 @@ impl LodCursor {
                     name: e.file_name(),
                     total: e.particle_count,
                     read_so_far: 0,
+                    verify: FileVerify::Unopened,
                 }
             })
             .collect();
@@ -370,10 +558,22 @@ impl LodCursor {
         for f in &mut self.files {
             let target = LodParams::file_prefix(f.total, self.dataset_total, global_prefix);
             if target > f.read_so_far {
+                // First touch: fetch the header (and, for v2 files, the
+                // checksum footer) so subsequent ranged payload reads can
+                // be verified incrementally.
+                if matches!(f.verify, FileVerify::Unopened) {
+                    f.verify = Self::open_file(storage, f, &mut stats)?;
+                }
                 let (start, end) = payload_range(f.read_so_far as usize, target as usize);
                 let bytes = storage.read_range(&f.name, start, end)?;
                 stats.files_opened += 1;
                 stats.bytes_read += bytes.len() as u64;
+                if let FileVerify::Checksummed(v) = &mut f.verify {
+                    v.absorb(&f.name, &bytes)?;
+                    if target == f.total {
+                        v.finish(&f.name)?;
+                    }
+                }
                 out.extend(spio_types::particle::decode_particles(&bytes));
                 f.read_so_far = target;
             }
@@ -383,6 +583,37 @@ impl LodCursor {
         stats.time = t0.elapsed();
         self.trace.phase(self.rank, phases::LOD, stats.time);
         Ok((out, stats))
+    }
+
+    /// First touch of a file: fetch and validate its header, and for
+    /// checksummed (v2) files also the tiny checksum footer — two small
+    /// ranged reads, far cheaper than reading the file whole, which is the
+    /// point of LOD prefix reads.
+    fn open_file<S: Storage>(
+        storage: &S,
+        f: &LodFile,
+        stats: &mut ReadStats,
+    ) -> Result<FileVerify, SpioError> {
+        let header_bytes = storage.read_range(&f.name, 0, HEADER_BYTES as u64)?;
+        stats.bytes_read += header_bytes.len() as u64;
+        let header = DataFileHeader::decode(&header_bytes)?;
+        if header.particle_count != f.total {
+            return Err(SpioError::Format(format!(
+                "'{}' header declares {} particles but metadata says {}",
+                f.name, header.particle_count, f.total
+            )));
+        }
+        if !header.has_checksums() {
+            return Ok(FileVerify::Plain);
+        }
+        let (start, end) = footer_range(&header);
+        let footer = storage.read_range(&f.name, start, end)?;
+        stats.bytes_read += footer.len() as u64;
+        let crcs = footer
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(FileVerify::Checksummed(ChunkVerifier::new(&header, crcs)))
     }
 
     /// Read levels `0 ..= level` (from the cursor's current position),

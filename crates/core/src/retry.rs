@@ -1,0 +1,324 @@
+//! Retrying storage wrapper: absorbs transient I/O faults with
+//! deterministic exponential backoff.
+//!
+//! Parallel file systems fail transiently — a congested OST, a flaky NFS
+//! mount, a storage target mid-failover — and a single spurious `EIO`
+//! should not abort a collective restart read. [`RetryStorage`] wraps any
+//! [`Storage`] backend and re-issues failed operations under a
+//! [`RetryPolicy`]:
+//!
+//! * **Retryable:** [`SpioError::Io`] — the environment misbehaved; the
+//!   same call may succeed a moment later.
+//! * **Terminal:** [`SpioError::NotFound`] and [`SpioError::Format`] — the
+//!   *content* is wrong (missing file, corrupt bytes, bad range); retrying
+//!   re-reads the same wrong answer, so these surface immediately.
+//!
+//! Backoff is exponential with seeded multiplicative jitter from
+//! `spio_util::rng::splitmix64`, so two ranks hammering the same storage
+//! target desynchronize while every run with the same seed replays the
+//! same schedule — chaos tests stay reproducible. Each re-attempt is
+//! recorded into the job's [`Trace`] as a `"retry"` storage op, so
+//! `spio report` surfaces retry counts next to read/write counts.
+
+use crate::storage::Storage;
+use spio_trace::Trace;
+use spio_types::SpioError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When and how often to retry a failed storage operation.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Cap on the per-retry delay.
+    pub max_delay: Duration,
+    /// Give up once an operation (including its backoff sleeps) has taken
+    /// this long, even with attempts remaining. `None` = no deadline.
+    pub op_deadline: Option<Duration>,
+    /// Seed for the jitter stream. Same seed → same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            op_deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for tests: immediate retries (zero backoff), `n` attempts.
+    pub fn immediate(n: u32) -> Self {
+        RetryPolicy {
+            max_attempts: n,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            op_deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered by a hash of
+    /// `(seed, op_serial, retry)`: exponential up to `max_delay`, scaled by
+    /// a factor in `[0.5, 1.0)` so concurrent ranks spread out.
+    fn backoff(&self, op_serial: u64, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_delay);
+        if exp.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut state = self.seed ^ op_serial.rotate_left(17) ^ (retry as u64);
+        let fraction = (spio_util::rng::splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * fraction)
+    }
+}
+
+/// Is this error worth retrying, or is the answer final?
+pub fn is_retryable(err: &SpioError) -> bool {
+    matches!(err, SpioError::Io(_))
+}
+
+/// A [`Storage`] wrapper that retries transient faults per a
+/// [`RetryPolicy`], recording each re-attempt into a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct RetryStorage<S: Storage> {
+    inner: S,
+    policy: RetryPolicy,
+    trace: Trace,
+    rank: usize,
+    /// Serial number per operation: decorrelates jitter across ops and
+    /// across clones sharing this counter.
+    op_serial: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
+}
+
+impl<S: Storage> RetryStorage<S> {
+    /// Wrap `inner` with `policy`, attributing trace records to `rank`.
+    /// Pass `Trace::off()` to skip recording.
+    pub fn new(inner: S, policy: RetryPolicy, trace: Trace, rank: usize) -> Self {
+        RetryStorage {
+            inner,
+            policy,
+            trace,
+            rank,
+            op_serial: Arc::new(AtomicU64::new(0)),
+            retries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Total retries performed across all operations (not first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Run `op` under the retry policy. `name` is the file the operation
+    /// touches (for trace records).
+    fn run<T>(
+        &self,
+        name: &str,
+        mut op: impl FnMut(&S) -> Result<T, SpioError>,
+    ) -> Result<T, SpioError> {
+        let serial = self.op_serial.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match op(&self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if !is_retryable(&e) => return Err(e),
+                Err(e) => {
+                    let deadline_hit = self
+                        .policy
+                        .op_deadline
+                        .is_some_and(|d| started.elapsed() >= d);
+                    if attempt >= self.policy.max_attempts.max(1) || deadline_hit {
+                        return Err(e);
+                    }
+                    let delay = self.policy.backoff(serial, attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if self.trace.is_enabled() {
+                        // One record per re-attempt; `bytes` carries the
+                        // attempt number so reports can show max depth.
+                        self.trace.storage_op(
+                            self.rank,
+                            "retry",
+                            name,
+                            attempt as u64,
+                            started.elapsed(),
+                        );
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<S: Storage> Storage for RetryStorage<S> {
+    fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
+        self.run(name, |s| s.write_file(name, data))
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, SpioError> {
+        self.run(name, |s| s.read_file(name))
+    }
+
+    fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
+        self.run(name, |s| s.read_range(name, start, end))
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, SpioError> {
+        self.run(name, |s| s.file_size(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
+        self.run(name, |s| s.write_range(name, offset, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosConfig, ChaosStorage};
+    use crate::storage::MemStorage;
+
+    fn flaky(transient_every: u64) -> ChaosStorage<MemStorage> {
+        ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                transient_every: Some(transient_every),
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn absorbs_transient_faults() {
+        // Ops 1, 3, 5, … fault; each retry lands on a good op.
+        let chaos = flaky(2);
+        let retry = RetryStorage::new(chaos, RetryPolicy::immediate(3), Trace::off(), 0);
+        retry.write_file("a", &[1, 2, 3]).unwrap();
+        for _ in 0..10 {
+            assert_eq!(retry.read_file("a").unwrap(), vec![1, 2, 3]);
+        }
+        assert!(retry.retries() > 0);
+    }
+
+    #[test]
+    fn exhausts_attempts_on_persistent_io_fault() {
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                transient_every: Some(1), // every op faults
+                ..ChaosConfig::default()
+            },
+        );
+        chaos.inner().write_file("a", &[1]).unwrap();
+        let retry = RetryStorage::new(chaos, RetryPolicy::immediate(3), Trace::off(), 0);
+        // A fresh transient fault on every attempt exhausts the budget.
+        assert!(matches!(retry.read_file("a"), Err(SpioError::Io(_))));
+        assert_eq!(retry.retries(), 2); // 3 attempts = 2 retries
+    }
+
+    #[test]
+    fn terminal_errors_do_not_retry() {
+        let retry = RetryStorage::new(
+            MemStorage::new(),
+            RetryPolicy::immediate(5),
+            Trace::off(),
+            0,
+        );
+        assert!(matches!(
+            retry.read_file("missing"),
+            Err(SpioError::NotFound(_))
+        ));
+        retry.write_file("a", &[1]).unwrap();
+        assert!(matches!(
+            retry.read_range("a", 5, 2),
+            Err(SpioError::Format(_))
+        ));
+        assert_eq!(retry.retries(), 0);
+    }
+
+    #[test]
+    fn retries_recorded_in_trace() {
+        let trace = Trace::collecting();
+        let chaos = flaky(2); // first op faults, its retry succeeds
+        chaos.inner().write_file("a", &[9]).unwrap();
+        let retry = RetryStorage::new(chaos, RetryPolicy::immediate(4), trace.clone(), 7);
+        assert_eq!(retry.read_file("a").unwrap(), vec![9]);
+        let retries: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, spio_trace::TraceEvent::StorageOp { op: "retry", .. }))
+            .collect();
+        assert_eq!(retries.len(), 1);
+        if let spio_trace::TraceEvent::StorageOp { rank, .. } = retries[0] {
+            assert_eq!(rank, 7);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            op_deadline: None,
+            seed: 42,
+        };
+        for retry in 1..8 {
+            let a = p.backoff(3, retry);
+            let b = p.backoff(3, retry);
+            assert_eq!(a, b, "same inputs, same delay");
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << (retry - 1))
+                .min(Duration::from_millis(100));
+            assert!(a >= exp.mul_f64(0.5) && a <= exp, "retry {retry}: {a:?}");
+        }
+        // Different ops jitter differently (with overwhelming probability).
+        assert_ne!(p.backoff(1, 1), p.backoff(2, 1));
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let chaos = flaky(1);
+        chaos.inner().write_file("a", &[1]).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 1000,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(5),
+            op_deadline: Some(Duration::ZERO),
+            seed: 0,
+        };
+        let retry = RetryStorage::new(chaos, policy, Trace::off(), 0);
+        // Deadline of zero: the first failure is final despite the budget.
+        assert!(retry.read_file("a").is_err());
+        assert_eq!(retry.retries(), 0);
+    }
+}

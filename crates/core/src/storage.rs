@@ -14,8 +14,22 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+/// Reject an inverted byte range before any arithmetic on it. In release
+/// builds `(end - start)` would wrap to a near-`u64::MAX` allocation; a
+/// corrupted header that yields an inverted range must surface as a format
+/// error instead.
+fn check_range(name: &str, start: u64, end: u64) -> Result<(), SpioError> {
+    if start > end {
+        return Err(SpioError::Format(format!(
+            "inverted range [{start}, {end}) for '{name}'"
+        )));
+    }
+    Ok(())
+}
 
 /// A flat namespace of immutable files, written once and read many times —
 /// all the paper's format needs.
@@ -68,9 +82,27 @@ impl FsStorage {
     }
 }
 
+/// Distinguishes temp files of concurrent writers within one process; the
+/// pid in the temp name distinguishes processes.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 impl Storage for FsStorage {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
-        fs::write(self.path(name), data)?;
+        // Write-then-rename so a crash or injected fault mid-write never
+        // leaves a truncated file under the final name (a torn
+        // `spatial_meta.spm` would permanently block `DatasetReader::open`).
+        // The temp file lives in the same directory so the rename cannot
+        // cross filesystems.
+        let tmp_name = format!(
+            ".{name}.{}.{}.tmp",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp = self.path(&tmp_name);
+        fs::write(&tmp, data)?;
+        fs::rename(&tmp, self.path(name)).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })?;
         Ok(())
     }
 
@@ -82,7 +114,7 @@ impl Storage for FsStorage {
     }
 
     fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
-        debug_assert!(start <= end);
+        check_range(name, start, end)?;
         let mut f = fs::File::open(self.path(name)).map_err(|e| match e.kind() {
             std::io::ErrorKind::NotFound => SpioError::NotFound(name.to_string()),
             _ => SpioError::Io(e),
@@ -172,7 +204,7 @@ impl Storage for MemStorage {
     }
 
     fn read_range(&self, name: &str, start: u64, end: u64) -> Result<Vec<u8>, SpioError> {
-        debug_assert!(start <= end);
+        check_range(name, start, end)?;
         let files = self.files.read().unwrap();
         let data = files
             .get(name)
@@ -331,6 +363,11 @@ mod tests {
         assert_eq!(storage.read_range("a.bin", 1, 4).unwrap(), vec![2, 3, 4]);
         assert_eq!(storage.read_range("a.bin", 2, 2).unwrap(), Vec::<u8>::new());
         assert!(storage.read_range("a.bin", 3, 10).is_err());
+        // Inverted ranges are a format error, never a wrapped subtraction.
+        assert!(matches!(
+            storage.read_range("a.bin", 4, 1),
+            Err(SpioError::Format(_))
+        ));
         assert!(matches!(
             storage.read_file("missing"),
             Err(SpioError::NotFound(_))
@@ -403,6 +440,20 @@ mod tests {
         assert_eq!(b.read_file("x").unwrap(), vec![7]);
         assert_eq!(b.file_names(), vec!["x".to_string()]);
         assert_eq!(b.total_bytes(), 1);
+    }
+
+    #[test]
+    fn fs_write_file_leaves_no_temp_files() {
+        let dir = spio_util::tempdir().unwrap();
+        let s = FsStorage::new(dir.path());
+        s.write_file("meta.spm", &[1, 2, 3]).unwrap();
+        s.write_file("meta.spm", &[4, 5, 6]).unwrap();
+        let names: Vec<String> = fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["meta.spm".to_string()]);
+        assert_eq!(s.read_file("meta.spm").unwrap(), vec![4, 5, 6]);
     }
 
     #[test]

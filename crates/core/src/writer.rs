@@ -264,7 +264,9 @@ impl SpatialWriter {
 
             let t0 = Instant::now();
             let mut header = DataFileHeader::new(buffer.len() as u64, bounds, seed);
-            header.flags = file_flags;
+            // OR, don't assign: `new` already set the format-owned bits
+            // (CHECKSUMS); the writer only owns the LOD-order bits.
+            header.flags |= file_flags;
             let bytes = encode_data_file(&header, &buffer);
             storage.write_file(&data_file_name(me), &bytes)?;
             stats.bytes_written = bytes.len() as u64;
@@ -982,7 +984,9 @@ mod tests {
             for entry in &meta.entries {
                 let bytes = storage.read_file(&entry.file_name()).unwrap();
                 let (header, ps) = decode_data_file(&bytes).unwrap();
-                assert_eq!(header.flags, expect_flags);
+                let order_bits = super::flags::STRATIFIED_ORDER | super::flags::KEYED_SHUFFLE;
+                assert_eq!(header.flags & order_bits, expect_flags);
+                assert!(header.has_checksums(), "v2 writes are checksummed");
                 assert_eq!(ps.len() as u64, entry.particle_count);
                 assert!(ps.iter().all(|p| entry.bounds.contains(p.position)));
             }

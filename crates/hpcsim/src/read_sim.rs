@@ -165,7 +165,12 @@ mod tests {
         let t_all = simulate_read(&plan_lod_read(&s, 64, 40), &m);
         assert!(t0.time < t5.time);
         assert!(t5.time < t_all.time);
-        assert_eq!(t_all.total_bytes, 128 * (1 << 20) * 124);
+        // Every particle transferred once, plus each file's one-time
+        // header + checksum-footer fetch.
+        assert_eq!(
+            t_all.total_bytes,
+            128 * ((1 << 20) * 124 + spio_format::data_file::lod_open_overhead(1 << 20))
+        );
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub fn inspect<S: Storage>(storage: &S) -> Result<String, SpioError> {
 #[derive(Debug, Default)]
 pub struct ValidationReport {
     pub files_checked: usize,
+    /// Files carrying (and passing) format-v2 payload checksums. v1 files
+    /// validate structurally but have no integrity checking, so a dataset
+    /// with `checksummed_files < files_checked` is worth rewriting.
+    pub checksummed_files: usize,
     pub particles_checked: u64,
     pub problems: Vec<String>,
 }
@@ -111,6 +115,8 @@ pub fn validate<S: Storage>(storage: &S) -> Result<ValidationReport, SpioError> 
             }
         };
         report.files_checked += 1;
+        // `decode_data_file` verifies the v2 header CRC and every payload
+        // chunk checksum, so any flipped byte lands in `problems` here.
         let (header, particles) = match decode_data_file(&bytes) {
             Ok(v) => v,
             Err(e) => {
@@ -118,6 +124,9 @@ pub fn validate<S: Storage>(storage: &S) -> Result<ValidationReport, SpioError> 
                 continue;
             }
         };
+        if header.has_checksums() {
+            report.checksummed_files += 1;
+        }
         if header.particle_count != entry.particle_count {
             report.problems.push(format!(
                 "{name}: header says {} particles, metadata says {}",
@@ -400,7 +409,25 @@ mod tests {
         let report = validate(&s).unwrap();
         assert!(report.is_ok(), "{:?}", report.problems);
         assert_eq!(report.files_checked, 2);
+        assert_eq!(report.checksummed_files, 2, "v2 writes carry checksums");
         assert_eq!(report.particles_checked, 400);
+    }
+
+    #[test]
+    fn validate_catches_single_bit_flip_via_checksums() {
+        let s = sample_dataset();
+        // Flip one bit deep in the payload — structurally still a valid
+        // file, caught only by the v2 chunk checksums.
+        let mut bytes = s.read_file("file_0.spd").unwrap();
+        let mid = spio_format::data_file::HEADER_BYTES + bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        s.write_file("file_0.spd", &bytes).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(
+            report.problems.iter().any(|p| p.contains("checksum")),
+            "{:?}",
+            report.problems
+        );
     }
 
     #[test]

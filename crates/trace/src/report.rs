@@ -178,6 +178,17 @@ impl JobReport {
             .sum()
     }
 
+    /// Number of recorded storage operations of `op` kind.
+    pub fn storage_op_count(&self, op: &str) -> usize {
+        self.storage.iter().filter(|s| s.op == op).count()
+    }
+
+    /// Storage retries recorded by `RetryStorage` wrappers — nonzero means
+    /// the job survived transient storage faults.
+    pub fn retry_count(&self) -> usize {
+        self.storage_op_count("retry")
+    }
+
     // ---- serialization ----
 
     pub fn to_json(&self) -> String {
@@ -430,6 +441,21 @@ mod tests {
         // The (0,0,2) message was sent but never received.
         assert_eq!(r.comm_imbalances().len(), 1);
         assert_eq!(r.total_bytes_sent(), 576);
+    }
+
+    #[test]
+    fn storage_op_and_retry_counts() {
+        let t = Trace::collecting();
+        t.storage_op(0, "read_file", "f", 10, Duration::from_micros(5));
+        t.storage_op(0, "retry", "f", 1, Duration::from_micros(9));
+        t.storage_op(1, "retry", "f", 1, Duration::from_micros(4));
+        let r = JobReport::from_events(2, &t.events());
+        assert_eq!(r.storage_op_count("read_file"), 1);
+        assert_eq!(r.retry_count(), 2);
+        assert!(
+            r.render().contains("retry"),
+            "retries show in `spio report`"
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+//! protecting data-file headers and payload chunks in format v2. Std-only,
+//! table-driven, with a streaming state so readers that fetch a payload
+//! incrementally (LOD prefix reads) can verify chunk boundaries without
+//! re-reading earlier bytes.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Streaming CRC-32 state. `finalize` does not consume the state, so a
+/// caller can checkpoint the running value at chunk boundaries.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed more bytes into the running checksum.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The CRC of everything fed so far.
+    #[inline]
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// Reset to the empty-input state (start of a new chunk).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.state = 0xFFFF_FFFF;
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 9, 4096, 9_999, 10_000] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = vec![0xA5u8; 512];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let mut c = Crc32::new();
+        c.update(b"garbage");
+        c.reset();
+        c.update(b"123456789");
+        assert_eq!(c.finalize(), 0xCBF4_3926);
+    }
+}

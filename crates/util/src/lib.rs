@@ -8,11 +8,13 @@
 
 pub mod bench;
 pub mod check;
+pub mod crc;
 pub mod json;
 pub mod rng;
 pub mod tempdir;
 
 pub use check::{cases, cases_seeded, Gen};
+pub use crc::{crc32, Crc32};
 pub use json::Json;
 pub use rng::Rng;
 pub use tempdir::{tempdir, TempDir};

@@ -44,8 +44,8 @@ pub use spio_workloads as workloads;
 pub mod prelude {
     pub use spio_comm::{run_threaded, Comm, ThreadComm};
     pub use spio_core::{
-        AdaptiveGrid, AggregationGrid, BoxQueryReader, FsStorage, LodReader, SpatialWriter,
-        Storage, WriterConfig,
+        AdaptiveGrid, AggregationGrid, BoxQueryReader, ChaosConfig, ChaosStorage, FsStorage,
+        LodReader, RetryPolicy, RetryStorage, SpatialWriter, Storage, WriterConfig,
     };
     pub use spio_format::{LodParams, SpatialMetadata};
     pub use spio_types::{
