@@ -11,4 +11,24 @@ cargo test -q --test failure_injection
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Observability pipeline: run the traced fig6 workload, render its report,
+# export + schema-check the Chrome trace, and gate against the committed
+# perf baseline (see docs/OBSERVABILITY.md). Small workload — this is a
+# smoke test of the artifact pipeline, not a perf measurement, so only the
+# baseline comparison (on identical settings) is load-bearing.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+SPIO=target/release/spio
+"$SPIO" bench --procs 8 --per-rank 2000 --runs 2 \
+  --write "$OBS_DIR/bench.json" \
+  --trace-out "$OBS_DIR/trace.json" \
+  --report-out "$OBS_DIR/report.json" \
+  --metrics-out "$OBS_DIR/metrics.jsonl"
+"$SPIO" report "$OBS_DIR/report.json" > /dev/null
+"$SPIO" trace "$OBS_DIR/trace.json" > /dev/null
+"$SPIO" trace "$OBS_DIR/trace.json" --chrome "$OBS_DIR/chrome.json"
+"$SPIO" check-trace "$OBS_DIR/chrome.json"
+"$SPIO" bench --procs 8 --per-rank 2000 --runs 2 --baseline "$OBS_DIR/bench.json"
+echo "ci: observability pipeline OK"
+
 echo "ci: all checks passed"

@@ -108,7 +108,7 @@ pub fn time_breakdown_real(procs: usize, per_rank: usize) -> Vec<RealBar> {
         let merged = WriteStats::merge_max(&stats);
         let agg = merged.aggregation_time.as_secs_f64();
         let io = merged.file_io_time.as_secs_f64();
-        let report = JobReport::from_events(procs, &trace.events());
+        let report = JobReport::from_snapshot(procs, &trace.take_snapshot());
         out.push(RealBar {
             bar: Bar {
                 config: factor,

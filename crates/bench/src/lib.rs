@@ -22,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod regression;
 pub mod table;
 
 /// The paper's per-core workloads (§5.1): 32 Ki and 64 Ki particles per

@@ -14,20 +14,40 @@
 //! on user tags (`TAG_META`, `TAG_DATA`).
 
 use crate::{Comm, RecvHandle, SendHandle, Tag};
-use spio_trace::{Dir, Trace};
+use spio_trace::{Counter, Dir, Histogram, Trace};
 use spio_types::Rank;
 
 /// A communicator that mirrors every point-to-point message into a
 /// [`Trace`]. With a disabled trace ([`Trace::off`]) every operation is a
 /// plain delegation plus one branch — no allocation, no locking.
+///
+/// Alongside the per-message matrix records, the wrapper feeds the trace's
+/// metrics registry: `comm.sent.msgs` / `comm.sent.bytes` /
+/// `comm.received.msgs` / `comm.received.bytes` counters and a
+/// `comm.msg_bytes` size histogram. Handles are resolved once here, so the
+/// per-message cost is a few atomic adds.
 pub struct TracedComm<C: Comm> {
     inner: C,
     trace: Trace,
+    sent_msgs: Counter,
+    sent_bytes: Counter,
+    recv_msgs: Counter,
+    recv_bytes: Counter,
+    msg_bytes: Histogram,
 }
 
 impl<C: Comm> TracedComm<C> {
     pub fn new(inner: C, trace: Trace) -> Self {
-        TracedComm { inner, trace }
+        let metrics = trace.metrics();
+        TracedComm {
+            inner,
+            trace,
+            sent_msgs: metrics.counter("comm.sent.msgs"),
+            sent_bytes: metrics.counter("comm.sent.bytes"),
+            recv_msgs: metrics.counter("comm.received.msgs"),
+            recv_bytes: metrics.counter("comm.received.bytes"),
+            msg_bytes: metrics.histogram("comm.msg_bytes"),
+        }
     }
 
     pub fn inner(&self) -> &C {
@@ -53,8 +73,14 @@ impl<C: Comm> Comm for TracedComm<C> {
     }
 
     fn isend(&self, dest: Rank, tag: Tag, data: Vec<u8>) -> SendHandle {
+        let bytes = data.len() as u64;
         self.trace
-            .message(self.inner.rank(), dest, tag, data.len() as u64, Dir::Sent);
+            .message(self.inner.rank(), dest, tag, bytes, Dir::Sent);
+        if self.trace.is_enabled() {
+            self.sent_msgs.inc();
+            self.sent_bytes.add(bytes);
+            self.msg_bytes.record(bytes);
+        }
         self.inner.isend(dest, tag, data)
     }
 
@@ -64,11 +90,16 @@ impl<C: Comm> Comm for TracedComm<C> {
             return handle;
         }
         let trace = self.trace.clone();
+        let recv_msgs = self.recv_msgs.clone();
+        let recv_bytes = self.recv_bytes.clone();
         let me = self.inner.rank();
         RecvHandle {
             wait_fn: Box::new(move || {
                 let data = handle.wait()?;
-                trace.message(src, me, tag, data.len() as u64, Dir::Received);
+                let bytes = data.len() as u64;
+                trace.message(src, me, tag, bytes, Dir::Received);
+                recv_msgs.inc();
+                recv_bytes.add(bytes);
                 Ok(data)
             }),
         }
@@ -117,20 +148,31 @@ mod tests {
         .unwrap();
         let events = trace.events();
         assert_eq!(events.len(), 2);
-        assert!(events.contains(&TraceEvent::Message {
-            src: 0,
-            dst: 1,
-            tag: 7,
-            bytes: 96,
-            dir: Dir::Sent,
-        }));
-        assert!(events.contains(&TraceEvent::Message {
-            src: 0,
-            dst: 1,
-            tag: 7,
-            bytes: 96,
-            dir: Dir::Received,
-        }));
+        for dir in [Dir::Sent, Dir::Received] {
+            assert!(
+                events.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Message {
+                        src: 0,
+                        dst: 1,
+                        tag: 7,
+                        bytes: 96,
+                        dir: d,
+                        ..
+                    } if *d == dir
+                )),
+                "missing {dir:?} record in {events:?}"
+            );
+        }
+        let metrics = trace.metrics();
+        assert_eq!(metrics.counter_value("comm.sent.msgs"), 1);
+        assert_eq!(metrics.counter_value("comm.sent.bytes"), 96);
+        assert_eq!(metrics.counter_value("comm.received.msgs"), 1);
+        assert_eq!(metrics.counter_value("comm.received.bytes"), 96);
+        assert_eq!(
+            metrics.histogram_snapshot("comm.msg_bytes").unwrap().max,
+            96
+        );
     }
 
     #[test]

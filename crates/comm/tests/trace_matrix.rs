@@ -34,7 +34,7 @@ fn comm_matrix_conserves_bytes() {
         })
         .unwrap();
 
-        let report = JobReport::from_events(n, &trace.events());
+        let report = JobReport::from_snapshot(n, &trace.snapshot());
         assert!(
             report.comm_imbalances().is_empty(),
             "sent/received mismatch for plan {plan:?}"

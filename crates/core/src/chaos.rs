@@ -23,6 +23,7 @@
 //! fault schedules stay easy to reason about.
 
 use crate::storage::Storage;
+use spio_trace::Trace;
 use spio_types::SpioError;
 use spio_util::Rng;
 use std::collections::HashSet;
@@ -121,19 +122,25 @@ struct ChaosState {
 
 enum Verdict {
     Proceed,
-    /// Fail with an I/O error (transient, persistent or budget — already
-    /// counted).
+    /// Fail with an I/O error; the kind ("transient", "persistent",
+    /// "budget") is already counted in the stats.
     Fault(&'static str),
     /// Persist `data[..tear_at]` then fail.
     Tear(usize),
 }
 
 /// A [`Storage`] wrapper injecting seeded faults per a [`ChaosConfig`].
+///
+/// With [`ChaosStorage::with_trace`], every injection is additionally
+/// recorded as a first-class *injected* fault event, so `spio report`
+/// separates chaos-injected faults from organic backend errors.
 #[derive(Debug, Clone)]
 pub struct ChaosStorage<S: Storage> {
     inner: S,
     config: ChaosConfig,
     state: Arc<Mutex<ChaosState>>,
+    trace: Trace,
+    rank: usize,
 }
 
 impl<S: Storage> ChaosStorage<S> {
@@ -150,7 +157,17 @@ impl<S: Storage> ChaosStorage<S> {
             inner,
             config,
             state: Arc::new(Mutex::new(state)),
+            trace: Trace::off(),
+            rank: 0,
         }
+    }
+
+    /// Record every injected fault into `trace` as a fault event
+    /// attributed to `rank` (with `injected == true`).
+    pub fn with_trace(mut self, trace: Trace, rank: usize) -> Self {
+        self.trace = trace;
+        self.rank = rank;
+        self
     }
 
     /// The wrapped backend — handy for seeding files without chaos.
@@ -185,20 +202,20 @@ impl<S: Storage> ChaosStorage<S> {
         if let Some(b) = budget {
             if *b == 0 {
                 st.stats.budget_faults += 1;
-                return Verdict::Fault("injected budget fault");
+                return Verdict::Fault("budget");
             }
             *b -= 1;
         }
         if st.poisoned.contains(name) {
             st.stats.persistent_faults += 1;
-            return Verdict::Fault("injected persistent fault");
+            return Verdict::Fault("persistent");
         }
         let op = st.next_op;
         st.next_op += 1;
         if let Some(every) = self.config.transient_every {
             if every > 0 && (op - 1).is_multiple_of(every) {
                 st.stats.transient_faults += 1;
-                return Verdict::Fault("injected transient fault");
+                return Verdict::Fault("transient");
             }
         }
         let rate = if write {
@@ -209,11 +226,11 @@ impl<S: Storage> ChaosStorage<S> {
         if rate > 0.0 && st.rng.f64() < rate {
             if st.rng.f64() < self.config.transient_ratio {
                 st.stats.transient_faults += 1;
-                return Verdict::Fault("injected transient fault");
+                return Verdict::Fault("transient");
             }
             st.poisoned.insert(name.to_string());
             st.stats.persistent_faults += 1;
-            return Verdict::Fault("injected persistent fault");
+            return Verdict::Fault("persistent");
         }
         if write
             && len > 0
@@ -226,10 +243,11 @@ impl<S: Storage> ChaosStorage<S> {
         Verdict::Proceed
     }
 
-    /// Maybe flip one bit of a successful read's buffer.
-    fn maybe_flip(&self, buf: &mut [u8]) {
+    /// Maybe flip one bit of a successful read's buffer; reports whether a
+    /// flip was injected.
+    fn maybe_flip(&self, buf: &mut [u8]) -> bool {
         if buf.is_empty() || self.config.bit_flip_rate <= 0.0 {
-            return;
+            return false;
         }
         let st = &mut *self.state.lock().unwrap();
         if st.rng.f64() < self.config.bit_flip_rate {
@@ -237,22 +255,33 @@ impl<S: Storage> ChaosStorage<S> {
             let bit = (st.rng.next_u64() % 8) as u8;
             buf[byte] ^= 1 << bit;
             st.stats.bit_flips += 1;
+            return true;
         }
+        false
     }
-}
 
-fn fault(msg: &'static str) -> SpioError {
-    SpioError::Io(std::io::Error::other(msg))
+    /// Record the injection as a fault event (the state lock is already
+    /// released) and build the error callers see.
+    fn inject(&self, kind: &'static str, name: &str) -> SpioError {
+        self.trace.fault(self.rank, kind, name, true);
+        SpioError::Io(std::io::Error::other(match kind {
+            "budget" => "injected budget fault",
+            "persistent" => "injected persistent fault",
+            "transient" => "injected transient fault",
+            "torn_write" => "injected torn write",
+            other => other,
+        }))
+    }
 }
 
 impl<S: Storage> Storage for ChaosStorage<S> {
     fn write_file(&self, name: &str, data: &[u8]) -> Result<(), SpioError> {
         match self.roll(name, true, data.len()) {
             Verdict::Proceed => self.inner.write_file(name, data),
-            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Fault(kind) => Err(self.inject(kind, name)),
             Verdict::Tear(at) => {
                 let _ = self.inner.write_file(name, &data[..at]);
-                Err(fault("injected torn write"))
+                Err(self.inject("torn_write", name))
             }
         }
     }
@@ -261,10 +290,12 @@ impl<S: Storage> Storage for ChaosStorage<S> {
         match self.roll(name, false, 0) {
             Verdict::Proceed => {
                 let mut buf = self.inner.read_file(name)?;
-                self.maybe_flip(&mut buf);
+                if self.maybe_flip(&mut buf) {
+                    self.trace.fault(self.rank, "bit_flip", name, true);
+                }
                 Ok(buf)
             }
-            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Fault(kind) => Err(self.inject(kind, name)),
             Verdict::Tear(_) => unreachable!("reads never tear"),
         }
     }
@@ -273,10 +304,12 @@ impl<S: Storage> Storage for ChaosStorage<S> {
         match self.roll(name, false, 0) {
             Verdict::Proceed => {
                 let mut buf = self.inner.read_range(name, start, end)?;
-                self.maybe_flip(&mut buf);
+                if self.maybe_flip(&mut buf) {
+                    self.trace.fault(self.rank, "bit_flip", name, true);
+                }
                 Ok(buf)
             }
-            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Fault(kind) => Err(self.inject(kind, name)),
             Verdict::Tear(_) => unreachable!("reads never tear"),
         }
     }
@@ -292,10 +325,10 @@ impl<S: Storage> Storage for ChaosStorage<S> {
     fn write_range(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), SpioError> {
         match self.roll(name, true, data.len()) {
             Verdict::Proceed => self.inner.write_range(name, offset, data),
-            Verdict::Fault(msg) => Err(fault(msg)),
+            Verdict::Fault(kind) => Err(self.inject(kind, name)),
             Verdict::Tear(at) => {
                 let _ = self.inner.write_range(name, offset, &data[..at]);
-                Err(fault("injected torn write"))
+                Err(self.inject("torn_write", name))
             }
         }
     }
@@ -418,6 +451,72 @@ mod tests {
         assert_ne!(run(99), run(100), "different seed, different schedule");
         let outcomes = run(99);
         assert!(outcomes.iter().any(|&ok| ok) && outcomes.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn injections_are_recorded_as_fault_events() {
+        let trace = Trace::collecting();
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                transient_every: Some(2),
+                ..ChaosConfig::default()
+            },
+        )
+        .with_trace(trace.clone(), 5);
+        chaos.inner().write_file("a", &[1]).unwrap();
+        // Ops 1 and 3 fault, op 2 succeeds.
+        let outcomes: Vec<bool> = (0..3).map(|_| chaos.read_file("a").is_ok()).collect();
+        assert_eq!(outcomes, vec![false, true, false]);
+        let faults: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    spio_trace::TraceEvent::Fault {
+                        rank: 5,
+                        kind: "transient",
+                        injected: true,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(trace.snapshot().files, vec!["a"]);
+    }
+
+    #[test]
+    fn torn_and_flip_injections_record_their_kinds() {
+        let trace = Trace::collecting();
+        let chaos = ChaosStorage::new(
+            MemStorage::new(),
+            ChaosConfig {
+                seed: 11,
+                torn_write_rate: 1.0,
+                bit_flip_rate: 1.0,
+                ..ChaosConfig::default()
+            },
+        )
+        .with_trace(trace.clone(), 0);
+        chaos.inner().write_file("f", &[0u8; 64]).unwrap();
+        assert!(chaos.write_file("t", &[0xAB; 100]).is_err());
+        let _ = chaos.read_file("f").unwrap();
+        let kinds: Vec<&str> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                spio_trace::TraceEvent::Fault {
+                    kind,
+                    injected: true,
+                    ..
+                } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&"torn_write"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"bit_flip"), "kinds: {kinds:?}");
     }
 
     #[test]

@@ -216,11 +216,16 @@ impl DatasetReader {
                         error: None,
                     });
                 }
-                Err(e) => outcomes.push(FileOutcome {
-                    file: name,
-                    particles: 0,
-                    error: Some(e),
-                }),
+                Err(e) => {
+                    // Degraded-file events let `spio report` count how many
+                    // holes a partial query tolerated.
+                    self.trace.fault(self.rank, "partial_read", &name, false);
+                    outcomes.push(FileOutcome {
+                        file: name,
+                        particles: 0,
+                        error: Some(e),
+                    });
+                }
             }
         }
         stats.particles_read = out.len() as u64;

@@ -101,19 +101,24 @@ pub struct RetryStorage<S: Storage> {
     /// across clones sharing this counter.
     op_serial: Arc<AtomicU64>,
     retries: Arc<AtomicU64>,
+    retry_attempts: spio_trace::Counter,
+    backoff_us: spio_trace::Histogram,
 }
 
 impl<S: Storage> RetryStorage<S> {
     /// Wrap `inner` with `policy`, attributing trace records to `rank`.
     /// Pass `Trace::off()` to skip recording.
     pub fn new(inner: S, policy: RetryPolicy, trace: Trace, rank: usize) -> Self {
+        let m = trace.metrics();
         RetryStorage {
             inner,
             policy,
-            trace,
             rank,
             op_serial: Arc::new(AtomicU64::new(0)),
             retries: Arc::new(AtomicU64::new(0)),
+            retry_attempts: m.counter("storage.retry.attempts"),
+            backoff_us: m.histogram("storage.retry.backoff_us"),
+            trace,
         }
     }
 
@@ -167,6 +172,8 @@ impl<S: Storage> RetryStorage<S> {
                             attempt as u64,
                             started.elapsed(),
                         );
+                        self.retry_attempts.inc();
+                        self.backoff_us.record(delay.as_micros() as u64);
                     }
                     attempt += 1;
                 }
@@ -281,6 +288,10 @@ mod tests {
         if let spio_trace::TraceEvent::StorageOp { rank, .. } = retries[0] {
             assert_eq!(rank, 7);
         }
+        let m = trace.metrics();
+        assert_eq!(m.counter_value("storage.retry.attempts"), 1);
+        let backoff = m.histogram_snapshot("storage.retry.backoff_us").unwrap();
+        assert_eq!(backoff.count, 1, "one backoff sleep recorded (zero-length)");
     }
 
     #[test]

@@ -244,8 +244,55 @@ impl Storage for MemStorage {
     }
 }
 
+/// Trace fault kind for an organic (non-injected) storage error.
+pub(crate) fn error_kind(err: &SpioError) -> &'static str {
+    match err {
+        SpioError::Io(_) => "io_error",
+        SpioError::NotFound(_) => "not_found",
+        SpioError::Format(_) => "format_error",
+        SpioError::Config(_) => "config_error",
+        SpioError::Comm(_) => "comm_error",
+    }
+}
+
+/// Metric handles for one storage-op kind, resolved once at wrapper
+/// construction so the per-op cost is atomic adds only.
+#[derive(Debug, Clone, Default)]
+struct OpMetrics {
+    ops: spio_trace::Counter,
+    bytes: spio_trace::Counter,
+    errors: spio_trace::Counter,
+    latency_us: spio_trace::Histogram,
+}
+
+impl OpMetrics {
+    fn new(
+        m: &spio_trace::Metrics,
+        names: (&'static str, &'static str, &'static str, &'static str),
+    ) -> OpMetrics {
+        OpMetrics {
+            ops: m.counter(names.0),
+            bytes: m.counter(names.1),
+            errors: m.counter(names.2),
+            latency_us: m.histogram(names.3),
+        }
+    }
+
+    #[inline]
+    fn record(&self, bytes: u64, dur: std::time::Duration, ok: bool) {
+        self.ops.inc();
+        self.bytes.add(bytes);
+        self.latency_us.record_duration(dur);
+        if !ok {
+            self.errors.inc();
+        }
+    }
+}
+
 /// A [`Storage`] wrapper that emits one Darshan-style record per operation
-/// (op kind, file name, payload bytes, wall duration) into a [`Trace`].
+/// (op kind, file name, payload bytes, wall duration) into a [`Trace`],
+/// feeds the trace's metrics registry (`storage.<op>.{ops,bytes,errors,
+/// latency_us}`), and records every error as an organic fault event.
 ///
 /// With a disabled trace every method is a plain delegation behind one
 /// branch — no clock reads, no allocation — so production code can keep a
@@ -255,12 +302,67 @@ pub struct TracedStorage<S: Storage> {
     inner: S,
     trace: Trace,
     rank: usize,
+    write_file: OpMetrics,
+    read_file: OpMetrics,
+    read_range: OpMetrics,
+    file_size: OpMetrics,
+    write_range: OpMetrics,
 }
 
 impl<S: Storage> TracedStorage<S> {
     /// Wrap `inner`, attributing recorded ops to `rank`.
     pub fn new(inner: S, trace: Trace, rank: usize) -> Self {
-        TracedStorage { inner, trace, rank }
+        let m = trace.metrics();
+        TracedStorage {
+            inner,
+            rank,
+            write_file: OpMetrics::new(
+                &m,
+                (
+                    "storage.write_file.ops",
+                    "storage.write_file.bytes",
+                    "storage.write_file.errors",
+                    "storage.write_file.latency_us",
+                ),
+            ),
+            read_file: OpMetrics::new(
+                &m,
+                (
+                    "storage.read_file.ops",
+                    "storage.read_file.bytes",
+                    "storage.read_file.errors",
+                    "storage.read_file.latency_us",
+                ),
+            ),
+            read_range: OpMetrics::new(
+                &m,
+                (
+                    "storage.read_range.ops",
+                    "storage.read_range.bytes",
+                    "storage.read_range.errors",
+                    "storage.read_range.latency_us",
+                ),
+            ),
+            file_size: OpMetrics::new(
+                &m,
+                (
+                    "storage.file_size.ops",
+                    "storage.file_size.bytes",
+                    "storage.file_size.errors",
+                    "storage.file_size.latency_us",
+                ),
+            ),
+            write_range: OpMetrics::new(
+                &m,
+                (
+                    "storage.write_range.ops",
+                    "storage.write_range.bytes",
+                    "storage.write_range.errors",
+                    "storage.write_range.latency_us",
+                ),
+            ),
+            trace,
+        }
     }
 
     pub fn inner(&self) -> &S {
@@ -274,6 +376,25 @@ impl<S: Storage> TracedStorage<S> {
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
+
+    /// Record the per-op trace event, metrics, and — on error — an organic
+    /// fault event.
+    #[inline]
+    fn record<T>(
+        &self,
+        op: &'static str,
+        metrics: &OpMetrics,
+        name: &str,
+        bytes: u64,
+        dur: std::time::Duration,
+        result: &Result<T, SpioError>,
+    ) {
+        self.trace.storage_op(self.rank, op, name, bytes, dur);
+        metrics.record(bytes, dur, result.is_ok());
+        if let Err(e) = result {
+            self.trace.fault(self.rank, error_kind(e), name, false);
+        }
+    }
 }
 
 impl<S: Storage> Storage for TracedStorage<S> {
@@ -283,12 +404,13 @@ impl<S: Storage> Storage for TracedStorage<S> {
         }
         let t0 = Instant::now();
         let r = self.inner.write_file(name, data);
-        self.trace.storage_op(
-            self.rank,
+        self.record(
             "write_file",
+            &self.write_file,
             name,
             data.len() as u64,
             t0.elapsed(),
+            &r,
         );
         r
     }
@@ -300,8 +422,7 @@ impl<S: Storage> Storage for TracedStorage<S> {
         let t0 = Instant::now();
         let r = self.inner.read_file(name);
         let bytes = r.as_ref().map(|d| d.len() as u64).unwrap_or(0);
-        self.trace
-            .storage_op(self.rank, "read_file", name, bytes, t0.elapsed());
+        self.record("read_file", &self.read_file, name, bytes, t0.elapsed(), &r);
         r
     }
 
@@ -312,8 +433,14 @@ impl<S: Storage> Storage for TracedStorage<S> {
         let t0 = Instant::now();
         let r = self.inner.read_range(name, start, end);
         let bytes = r.as_ref().map(|d| d.len() as u64).unwrap_or(0);
-        self.trace
-            .storage_op(self.rank, "read_range", name, bytes, t0.elapsed());
+        self.record(
+            "read_range",
+            &self.read_range,
+            name,
+            bytes,
+            t0.elapsed(),
+            &r,
+        );
         r
     }
 
@@ -323,8 +450,7 @@ impl<S: Storage> Storage for TracedStorage<S> {
         }
         let t0 = Instant::now();
         let r = self.inner.file_size(name);
-        self.trace
-            .storage_op(self.rank, "file_size", name, 0, t0.elapsed());
+        self.record("file_size", &self.file_size, name, 0, t0.elapsed(), &r);
         r
     }
 
@@ -339,12 +465,13 @@ impl<S: Storage> Storage for TracedStorage<S> {
         }
         let t0 = Instant::now();
         let r = self.inner.write_range(name, offset, data);
-        self.trace.storage_op(
-            self.rank,
+        self.record(
             "write_range",
+            &self.write_range,
             name,
             data.len() as u64,
             t0.elapsed(),
+            &r,
         );
         r
     }
@@ -400,7 +527,9 @@ mod tests {
         exercise(&storage);
         let events = trace.events();
         assert!(!events.is_empty());
-        // Every record carries the configured rank and a known op name.
+        // Every record carries the configured rank and a known op name;
+        // failing ops additionally produce organic fault events.
+        let mut faults = 0;
         for e in &events {
             match e {
                 spio_trace::TraceEvent::StorageOp { rank, op, .. } => {
@@ -410,9 +539,23 @@ mod tests {
                         "write_file" | "read_file" | "read_range" | "file_size" | "write_range"
                     ));
                 }
+                spio_trace::TraceEvent::Fault {
+                    rank,
+                    kind,
+                    injected,
+                    ..
+                } => {
+                    assert_eq!(*rank, 3);
+                    assert!(!injected, "traced errors are organic, not injected");
+                    assert!(matches!(*kind, "not_found" | "format_error" | "io_error"));
+                    faults += 1;
+                }
                 other => panic!("unexpected event {other:?}"),
             }
         }
+        // exercise() provokes three errors: an over-long range, an
+        // inverted range, and a missing file.
+        assert_eq!(faults, 3);
         // The first exercise step wrote 5 bytes to a.bin.
         assert!(matches!(
             &events[0],
@@ -422,6 +565,14 @@ mod tests {
                 ..
             }
         ));
+        // The metrics registry saw the same traffic.
+        let m = trace.metrics();
+        assert!(m.counter_value("storage.write_file.ops") >= 2);
+        assert_eq!(m.counter_value("storage.read_file.errors"), 1);
+        assert_eq!(m.counter_value("storage.read_range.errors"), 2);
+        assert!(m
+            .histogram_snapshot("storage.write_file.latency_us")
+            .is_some());
     }
 
     #[test]

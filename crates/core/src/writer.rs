@@ -1110,7 +1110,7 @@ mod tests {
             writer.write(&comm, &particles, &s2).unwrap()
         })
         .unwrap();
-        let report = spio_trace::JobReport::from_events(4, &trace.events());
+        let report = spio_trace::JobReport::from_snapshot(4, &trace.snapshot());
         // Phase totals derive from the same Instant reads as WriteStats, so
         // the max-over-ranks must agree exactly (to microsecond rounding).
         let merged = WriteStats::merge_max(&stats);

@@ -7,12 +7,18 @@
 //! spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]
 //! spio lod      <dir> [readers]
 //! spio report   <job-report.json>
+//! spio trace    <trace-snapshot.json> [--chrome <out.json>]
+//! spio check-trace <chrome-trace.json>
+//! spio bench    [--procs N] [--per-rank N] [--runs N] [--baseline F]
+//!               [--write F] [--trace-out F] [--report-out F] [--metrics-out F]
 //! spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxXPyXPz> \
 //!                  <x0> <y0> <z0> <x1> <y1> <z1>
 //! ```
 
+use spio_bench::regression::{self, BenchConfig, BenchRecord};
 use spio_tools::open_dir;
-use spio_types::{Aabb3, PartitionFactor};
+use spio_trace::{chrome_trace, validate_chrome_trace, Timeline, TraceSnapshot};
+use spio_types::{Aabb3, PartitionFactor, SpioError};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -21,11 +27,119 @@ fn usage() -> ExitCode {
          spio query    <dir> <x0> <y0> <z0> <x1> <y1> <z1> [--density <lo> <hi>]\n  \
          spio lod      <dir> [readers]\n  \
          spio report   <job-report.json>\n  \
+         spio trace    <trace-snapshot.json> [--chrome <out.json>]\n  \
+         spio check-trace <chrome-trace.json>\n  \
+         spio bench    [--procs N] [--per-rank N] [--runs N] [--baseline F] \
+         [--write F] [--trace-out F] [--report-out F] [--metrics-out F]\n  \
          spio series   <dir>\n  \
          spio render   <dir> <out.ppm>\n  \
          spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxxPyxPz> <x0> <y0> <z0> <x1> <y1> <z1>"
     );
     ExitCode::from(2)
+}
+
+fn config_err(msg: impl Into<String>) -> SpioError {
+    SpioError::Config(msg.into())
+}
+
+/// `spio trace`: render a trace snapshot as an ASCII timeline, or export
+/// it to Chrome trace-event JSON (load via chrome://tracing or Perfetto).
+fn trace_cmd(file: &str, chrome_out: Option<&str>) -> Result<(), SpioError> {
+    let text = std::fs::read_to_string(file)?;
+    let snapshot = TraceSnapshot::from_json(&text).map_err(SpioError::Format)?;
+    match chrome_out {
+        Some(out) => {
+            std::fs::write(out, chrome_trace(&snapshot))?;
+            println!("wrote {out} ({} events)", snapshot.events.len());
+        }
+        None => print!("{}", Timeline::from_snapshot(&snapshot).render_ascii(100)),
+    }
+    Ok(())
+}
+
+/// `spio bench`: run the desk-scale Fig. 6 workload under full tracing,
+/// optionally writing a perf record / trace artifacts, and gate against a
+/// baseline record (exit 1 on regression).
+fn bench_cmd(rest: &[String]) -> Result<(), SpioError> {
+    let mut cfg = BenchConfig::default();
+    let mut baseline = None;
+    let mut write_out = None;
+    let mut trace_out = None;
+    let mut report_out = None;
+    let mut metrics_out = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let val = rest
+            .get(i + 1)
+            .ok_or_else(|| config_err(format!("{flag} needs a value")))?;
+        let parse_n = || {
+            val.parse::<usize>()
+                .map_err(|_| config_err(format!("{flag}: '{val}' is not a number")))
+        };
+        match flag {
+            "--procs" => cfg.procs = parse_n()?.max(1),
+            "--per-rank" => cfg.per_rank = parse_n()?,
+            "--runs" => cfg.runs = parse_n()?.max(1),
+            "--baseline" => baseline = Some(val.clone()),
+            "--write" => write_out = Some(val.clone()),
+            "--trace-out" => trace_out = Some(val.clone()),
+            "--report-out" => report_out = Some(val.clone()),
+            "--metrics-out" => metrics_out = Some(val.clone()),
+            _ => return Err(config_err(format!("unknown flag {flag}"))),
+        }
+        i += 2;
+    }
+    // Load the baseline before the (slow) workload so a bad path or
+    // malformed record fails fast.
+    let base = baseline
+        .as_ref()
+        .map(|f| BenchRecord::from_json(&std::fs::read_to_string(f)?).map_err(SpioError::Format))
+        .transpose()?;
+    println!(
+        "running fig6 workload: {} ranks x {} particles, {} run(s) per config",
+        cfg.procs, cfg.per_rank, cfg.runs
+    );
+    let run = regression::run_fig6(&cfg);
+    for c in &run.record.configs {
+        let times: Vec<String> = c
+            .phases
+            .iter()
+            .map(|p| format!("{}={}µs", p.phase, p.micros))
+            .collect();
+        println!("  {}: {}", c.config, times.join(" "));
+    }
+    if let Some(out) = &write_out {
+        std::fs::write(out, run.record.to_json())?;
+        println!("wrote baseline {out}");
+    }
+    if let Some(out) = &trace_out {
+        std::fs::write(out, run.snapshot.to_json())?;
+        println!("wrote trace snapshot {out}");
+    }
+    if let Some(out) = &report_out {
+        std::fs::write(out, run.report.to_json())?;
+        println!("wrote job report {out}");
+    }
+    if let Some(out) = &metrics_out {
+        std::fs::write(out, &run.metrics_jsonl)?;
+        println!("wrote metrics {out}");
+    }
+    if let Some(base) = &base {
+        let base_file = baseline.as_deref().unwrap_or_default();
+        let regressions = regression::compare(base, &run.record, regression::DEFAULT_THRESHOLD)
+            .map_err(SpioError::Config)?;
+        if regressions.is_empty() {
+            println!("bench gate PASS vs {base_file}");
+        } else {
+            eprintln!("bench gate FAIL vs {base_file}:");
+            for r in &regressions {
+                eprintln!("  REGRESSION {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
 }
 
 fn parse_f64s(args: &[String]) -> Option<Vec<f64>> {
@@ -77,6 +191,13 @@ fn main() -> ExitCode {
             .map_err(Into::into)
             .and_then(|json| spio_tools::report(&json))
             .map(|t| print!("{t}")),
+        ("trace", [file]) => trace_cmd(file, None),
+        ("trace", [file, flag, out]) if flag == "--chrome" => trace_cmd(file, Some(out)),
+        ("check-trace", [file]) => std::fs::read_to_string(file)
+            .map_err(SpioError::from)
+            .and_then(|json| validate_chrome_trace(&json).map_err(SpioError::Format))
+            .map(|()| println!("chrome trace OK")),
+        ("bench", rest) => bench_cmd(rest),
         ("series", [dir]) => spio_tools::series_info(&open_dir(dir)).map(|t| print!("{t}")),
         ("render", [dir, out]) => spio_tools::render_ppm(&open_dir(dir), 640, 640)
             .and_then(|img| std::fs::write(out, img).map_err(Into::into))

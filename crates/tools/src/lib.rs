@@ -542,7 +542,7 @@ mod tests {
         })
         .unwrap();
 
-        let report = JobReport::from_events(4, &trace.events());
+        let report = JobReport::from_snapshot(4, &trace.snapshot());
         // Comm matrix balances and covers the §3.3 exchange.
         assert!(report.comm_imbalances().is_empty());
         assert!(report.total_bytes_sent() > 0);

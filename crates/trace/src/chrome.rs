@@ -1,0 +1,297 @@
+//! Chrome trace-event export: turn a [`TraceSnapshot`] into JSON that
+//! `chrome://tracing` and Perfetto load directly.
+//!
+//! The [trace-event format] is the de-facto interchange for timeline
+//! profiles: a top-level `{"traceEvents": [...]}` object whose entries
+//! carry a phase letter `ph`, microsecond timestamp `ts`, and `pid`/`tid`
+//! lanes. We map the job onto one process (`pid` 0) with one thread lane
+//! per rank:
+//!
+//! | trace record          | chrome event                                   |
+//! |-----------------------|------------------------------------------------|
+//! | `Phase` span          | `"X"` (complete) on the rank lane, cat `phase` |
+//! | `StorageOp`           | `"X"` on the rank lane, cat `storage`, args carry file + bytes |
+//! | `Message` (sent side) | `"i"` (instant) on the src lane, cat `comm`    |
+//! | `Message` (recv side) | `"i"` on the dst lane, cat `comm`              |
+//! | `Fault`               | `"i"` on the rank lane, cat `fault`            |
+//!
+//! plus one `"M"` (metadata) `thread_name` record per rank so the viewer
+//! labels lanes `rank 0`, `rank 1`, …
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::shard::TraceSnapshot;
+use crate::{Dir, TraceEvent};
+use spio_util::Json;
+use std::collections::BTreeSet;
+
+/// Render `snapshot` as Chrome trace-event JSON.
+pub fn chrome_trace(snapshot: &TraceSnapshot) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(snapshot.events.len() + 8);
+    let mut ranks: BTreeSet<usize> = BTreeSet::new();
+
+    let base = |ph: &str, name: &str, cat: &str, ts: u64, tid: usize| {
+        vec![
+            ("name".to_string(), Json::str(name)),
+            ("cat".to_string(), Json::str(cat)),
+            ("ph".to_string(), Json::str(ph)),
+            ("ts".to_string(), Json::u64(ts)),
+            ("pid".to_string(), Json::u64(0)),
+            ("tid".to_string(), Json::u64(tid as u64)),
+        ]
+    };
+
+    for ev in &snapshot.events {
+        match *ev {
+            TraceEvent::Phase {
+                rank,
+                phase,
+                start_us,
+                dur,
+            } => {
+                ranks.insert(rank);
+                let mut obj = base("X", phase, "phase", start_us, rank);
+                obj.push(("dur".into(), Json::u64(dur.as_micros() as u64)));
+                events.push(Json::Obj(obj));
+            }
+            TraceEvent::StorageOp {
+                rank,
+                op,
+                file,
+                bytes,
+                start_us,
+                dur,
+            } => {
+                ranks.insert(rank);
+                let mut obj = base("X", op, "storage", start_us, rank);
+                obj.push(("dur".into(), Json::u64(dur.as_micros() as u64)));
+                obj.push((
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("file".into(), Json::str(snapshot.file_name(file))),
+                        ("bytes".into(), Json::u64(bytes)),
+                    ]),
+                ));
+                events.push(Json::Obj(obj));
+            }
+            TraceEvent::Message {
+                src,
+                dst,
+                tag,
+                bytes,
+                dir,
+                at_us,
+            } => {
+                let (lane, name) = match dir {
+                    Dir::Sent => (src, "send"),
+                    Dir::Received => (dst, "recv"),
+                };
+                ranks.insert(lane);
+                let mut obj = base("i", name, "comm", at_us, lane);
+                // Thread-scoped instant: renders as a small arrow on the lane.
+                obj.push(("s".into(), Json::str("t")));
+                obj.push((
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("src".into(), Json::u64(src as u64)),
+                        ("dst".into(), Json::u64(dst as u64)),
+                        ("tag".into(), Json::u64(tag as u64)),
+                        ("bytes".into(), Json::u64(bytes)),
+                    ]),
+                ));
+                events.push(Json::Obj(obj));
+            }
+            TraceEvent::Fault {
+                rank,
+                kind,
+                file,
+                injected,
+                at_us,
+            } => {
+                ranks.insert(rank);
+                let mut obj = base("i", kind, "fault", at_us, rank);
+                obj.push(("s".into(), Json::str("t")));
+                obj.push((
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("file".into(), Json::str(snapshot.file_name(file))),
+                        ("injected".into(), Json::Bool(injected)),
+                    ]),
+                ));
+                events.push(Json::Obj(obj));
+            }
+        }
+    }
+
+    // Lane labels, so the viewer shows "rank N" instead of bare tids.
+    for rank in ranks {
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::str("thread_name")),
+            ("ph".into(), Json::str("M")),
+            ("pid".into(), Json::u64(0)),
+            ("tid".into(), Json::u64(rank as u64)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::str(format!("rank {rank}")))]),
+            ),
+        ]));
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::str("ms")),
+    ])
+    .to_string()
+}
+
+/// Golden schema check for an exported Chrome trace: verifies the document
+/// shape that `chrome://tracing` requires, so CI catches a malformed export
+/// without a browser. Checks: top-level `traceEvents` array; every event
+/// has string `name`/`ph` and numeric `pid`/`tid`; `ph` is one of the
+/// kinds we emit; `"X"` events carry numeric `ts` and `dur`; `"i"` events
+/// carry numeric `ts`; `"M"` events are `thread_name` records with a
+/// string `args.name`.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing top-level 'traceEvents' array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("traceEvents[{i}]: {what}");
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string 'name'"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string 'ph'"))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ctx(&format!("missing numeric '{key}'")))?;
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    ev.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ctx(&format!("'X' event missing numeric '{key}'")))?;
+                }
+            }
+            "i" => {
+                ev.get("ts")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ctx("'i' event missing numeric 'ts'"))?;
+            }
+            "M" => {
+                if name != "thread_name" {
+                    return Err(ctx(&format!("unexpected metadata record '{name}'")));
+                }
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("thread_name metadata missing string 'args.name'"))?;
+            }
+            other => return Err(ctx(&format!("unsupported event phase '{other}'"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                TraceEvent::Phase {
+                    rank: 0,
+                    phase: "aggregation",
+                    start_us: 5,
+                    dur: Duration::from_micros(40),
+                },
+                TraceEvent::StorageOp {
+                    rank: 1,
+                    op: "write_file",
+                    file: 0,
+                    bytes: 4096,
+                    start_us: 50,
+                    dur: Duration::from_micros(12),
+                },
+                TraceEvent::Message {
+                    src: 0,
+                    dst: 1,
+                    tag: 3,
+                    bytes: 256,
+                    dir: Dir::Sent,
+                    at_us: 8,
+                },
+                TraceEvent::Fault {
+                    rank: 1,
+                    kind: "transient",
+                    file: 0,
+                    injected: true,
+                    at_us: 55,
+                },
+            ],
+            files: vec!["part/file_0.spd".to_string()],
+        }
+    }
+
+    #[test]
+    fn export_passes_its_own_validator() {
+        let text = chrome_trace(&sample());
+        validate_chrome_trace(&text).unwrap();
+    }
+
+    #[test]
+    fn export_carries_lanes_and_args() {
+        let text = chrome_trace(&sample());
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 4 records + 2 thread_name metadata lanes (ranks 0 and 1).
+        assert_eq!(events.len(), 6);
+        let storage = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("storage"))
+            .unwrap();
+        assert_eq!(
+            storage
+                .get("args")
+                .and_then(|a| a.get("file"))
+                .and_then(Json::as_str),
+            Some("part/file_0.spd")
+        );
+        assert_eq!(storage.get("dur").and_then(Json::as_u64), Some(12));
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // An "X" event without dur.
+        let bad = r#"{"traceEvents":[{"name":"p","ph":"X","ts":1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Unknown phase letter.
+        let bad = r#"{"traceEvents":[{"name":"p","ph":"Q","pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Metadata without args.name.
+        let bad = r#"{"traceEvents":[{"name":"thread_name","ph":"M","pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let text = chrome_trace(&TraceSnapshot::default());
+        validate_chrome_trace(&text).unwrap();
+    }
+}

@@ -1,5 +1,13 @@
 //! Merging trace events into a serializable job report.
+//!
+//! [`JobReport`] is the analysis layer over a [`TraceSnapshot`]: phase
+//! accumulation per rank, the communication matrix, Darshan-style storage
+//! records (with file names interned through the report's string table),
+//! plus the derived Fig. 6 diagnostics — per-op latency percentiles,
+//! per-phase max/mean imbalance (the straggler axis), per-rank written-byte
+//! skew (the aggregator axis), and the injected-vs-organic fault ledger.
 
+use crate::shard::TraceSnapshot;
 use crate::{Dir, TraceEvent};
 use spio_util::Json;
 use std::collections::BTreeMap;
@@ -27,36 +35,109 @@ pub struct CommEntry {
     pub bytes_received: u64,
 }
 
-/// A Darshan-style storage-operation record.
+/// A Darshan-style storage-operation record. `file` indexes the report's
+/// string table ([`JobReport::files`]); resolve with
+/// [`JobReport::file_name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageTotal {
     pub rank: usize,
     pub op: String,
-    pub file: String,
+    pub file: u32,
     pub bytes: u64,
     pub micros: u64,
+}
+
+/// Latency distribution of one storage-op kind, exact nearest-rank
+/// percentiles over the individual records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLatency {
+    pub op: String,
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Straggler diagnostic for one phase: the slowest rank's accumulated time
+/// vs. the mean over ranks that recorded the phase. `max/mean == 1` is
+/// perfectly balanced; the paper's Fig. 6 bulk-synchronous model means the
+/// job pays `max`, so the gap to `mean` is pure straggler cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImbalanceRow {
+    pub phase: String,
+    pub max_us: u64,
+    pub mean_us: u64,
+}
+
+impl ImbalanceRow {
+    /// `max / mean` (1.0 for an empty or perfectly balanced phase).
+    pub fn ratio(&self) -> f64 {
+        if self.mean_us == 0 {
+            1.0
+        } else {
+            self.max_us as f64 / self.mean_us as f64
+        }
+    }
+}
+
+/// Bytes written to storage by one rank — the per-aggregator skew axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggBytes {
+    pub rank: usize,
+    pub bytes: u64,
+}
+
+/// Fault counts for one fault kind, split injected (chaos) vs. organic
+/// (real backend errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTotal {
+    pub kind: String,
+    pub injected: u64,
+    pub organic: u64,
 }
 
 /// Everything a traced job produced, merged and ready to serialize.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobReport {
     pub nprocs: usize,
+    /// String table resolving [`StorageTotal::file`] ids.
+    pub files: Vec<String>,
     pub phases: Vec<PhaseTotal>,
     pub comm: Vec<CommEntry>,
     pub storage: Vec<StorageTotal>,
+    pub faults: Vec<FaultTotal>,
+    /// Per-op latency percentiles, sorted by op name.
+    pub op_latency: Vec<OpLatency>,
+    /// Per-phase max/mean straggler table, sorted by phase name.
+    pub imbalance: Vec<ImbalanceRow>,
+    /// Bytes written per rank (write ops only), sorted by rank.
+    pub agg_bytes: Vec<AggBytes>,
 }
 
 impl JobReport {
-    /// Merge an event stream into a report. Phase spans accumulate per
+    /// Merge a snapshot into a report. Phase spans accumulate per
     /// `(rank, phase)`; messages accumulate per `(src, dst, tag)`; storage
-    /// ops are kept as individual records, in arrival order.
-    pub fn from_events(nprocs: usize, events: &[TraceEvent]) -> JobReport {
+    /// ops are kept as individual records in arrival order; faults
+    /// accumulate per `(kind, injected)`. Derived tables (latency
+    /// percentiles, imbalance, per-rank write bytes) are computed here so
+    /// serialized reports carry them verbatim.
+    pub fn from_snapshot(nprocs: usize, snapshot: &TraceSnapshot) -> JobReport {
+        Self::from_events(nprocs, &snapshot.events, &snapshot.files)
+    }
+
+    /// Like [`JobReport::from_snapshot`], from the parts. `files` is the
+    /// string table that storage-op and fault `file` ids index.
+    pub fn from_events(nprocs: usize, events: &[TraceEvent], files: &[String]) -> JobReport {
         let mut phases: BTreeMap<(usize, &str), u64> = BTreeMap::new();
         let mut comm: BTreeMap<(usize, usize, u32), [u64; 4]> = BTreeMap::new();
+        let mut faults: BTreeMap<&str, [u64; 2]> = BTreeMap::new();
         let mut storage = Vec::new();
         for ev in events {
             match ev {
-                TraceEvent::Phase { rank, phase, dur } => {
+                TraceEvent::Phase {
+                    rank, phase, dur, ..
+                } => {
                     *phases.entry((*rank, phase)).or_default() += dur.as_micros() as u64;
                 }
                 TraceEvent::Message {
@@ -65,6 +146,7 @@ impl JobReport {
                     tag,
                     bytes,
                     dir,
+                    ..
                 } => {
                     let cell = comm.entry((*src, *dst, *tag)).or_default();
                     match dir {
@@ -84,19 +166,25 @@ impl JobReport {
                     file,
                     bytes,
                     dur,
+                    ..
                 } => {
                     storage.push(StorageTotal {
                         rank: *rank,
                         op: op.to_string(),
-                        file: file.clone(),
+                        file: *file,
                         bytes: *bytes,
                         micros: dur.as_micros() as u64,
                     });
                 }
+                TraceEvent::Fault { kind, injected, .. } => {
+                    let cell = faults.entry(kind).or_default();
+                    cell[if *injected { 0 } else { 1 }] += 1;
+                }
             }
         }
-        JobReport {
+        let mut report = JobReport {
             nprocs,
+            files: files.to_vec(),
             phases: phases
                 .into_iter()
                 .map(|((rank, phase), micros)| PhaseTotal {
@@ -118,7 +206,90 @@ impl JobReport {
                 })
                 .collect(),
             storage,
+            faults: faults
+                .into_iter()
+                .map(|(kind, c)| FaultTotal {
+                    kind: kind.to_string(),
+                    injected: c[0],
+                    organic: c[1],
+                })
+                .collect(),
+            ..Default::default()
+        };
+        report.op_latency = report.compute_op_latency();
+        report.imbalance = report.compute_imbalance();
+        report.agg_bytes = report.compute_agg_bytes();
+        report
+    }
+
+    /// Exact nearest-rank percentiles over each op kind's recorded
+    /// latencies.
+    fn compute_op_latency(&self) -> Vec<OpLatency> {
+        let mut by_op: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for s in &self.storage {
+            by_op.entry(&s.op).or_default().push(s.micros);
         }
+        by_op
+            .into_iter()
+            .map(|(op, mut lats)| {
+                lats.sort_unstable();
+                let nearest = |p: f64| -> u64 {
+                    let rank = ((p * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+                    lats[rank - 1]
+                };
+                OpLatency {
+                    op: op.to_string(),
+                    count: lats.len() as u64,
+                    p50_us: nearest(0.50),
+                    p95_us: nearest(0.95),
+                    p99_us: nearest(0.99),
+                    max_us: *lats.last().unwrap(),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-phase max and mean accumulated time. The mean is over ranks
+    /// that recorded the phase at all (a phase only two ranks enter should
+    /// not look imbalanced because the other ranks skipped it).
+    fn compute_imbalance(&self) -> Vec<ImbalanceRow> {
+        let mut by_phase: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // max, sum, n
+        for p in &self.phases {
+            let cell = by_phase.entry(&p.phase).or_default();
+            cell.0 = cell.0.max(p.micros);
+            cell.1 += p.micros;
+            cell.2 += 1;
+        }
+        by_phase
+            .into_iter()
+            .map(|(phase, (max, sum, n))| ImbalanceRow {
+                phase: phase.to_string(),
+                max_us: max,
+                mean_us: sum.checked_div(n).unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Bytes written per rank (`write_file` + `write_range` ops).
+    fn compute_agg_bytes(&self) -> Vec<AggBytes> {
+        let mut by_rank: BTreeMap<usize, u64> = BTreeMap::new();
+        for s in &self.storage {
+            if s.op.starts_with("write") {
+                *by_rank.entry(s.rank).or_default() += s.bytes;
+            }
+        }
+        by_rank
+            .into_iter()
+            .map(|(rank, bytes)| AggBytes { rank, bytes })
+            .collect()
+    }
+
+    /// Resolve a storage record's file id to its name.
+    pub fn file_name(&self, id: u32) -> String {
+        self.files
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("file#{id}"))
     }
 
     /// Maximum time any rank spent in `phase` — the bulk-synchronous bound
@@ -154,6 +325,19 @@ impl JobReport {
         names
     }
 
+    /// The straggler ratio `max/mean` for `phase` (1.0 when unrecorded).
+    pub fn imbalance_ratio(&self, phase: &str) -> f64 {
+        self.imbalance
+            .iter()
+            .find(|r| r.phase == phase)
+            .map_or(1.0, ImbalanceRow::ratio)
+    }
+
+    /// Latency percentiles for one op kind.
+    pub fn op_latency(&self, op: &str) -> Option<&OpLatency> {
+        self.op_latency.iter().find(|l| l.op == op)
+    }
+
     /// Matrix cells where the sent and received ledgers disagree (messages
     /// posted but never received, or bytes corrupted in flight). Empty for
     /// a conservation-respecting job.
@@ -187,6 +371,16 @@ impl JobReport {
     /// the job survived transient storage faults.
     pub fn retry_count(&self) -> usize {
         self.storage_op_count("retry")
+    }
+
+    /// Total chaos-injected fault events.
+    pub fn injected_fault_count(&self) -> u64 {
+        self.faults.iter().map(|f| f.injected).sum()
+    }
+
+    /// Total organic (non-injected) fault events.
+    pub fn organic_fault_count(&self) -> u64 {
+        self.faults.iter().map(|f| f.organic).sum()
     }
 
     // ---- serialization ----
@@ -225,19 +419,73 @@ impl JobReport {
                 Json::Obj(vec![
                     ("rank".into(), Json::u64(s.rank as u64)),
                     ("op".into(), Json::str(&s.op)),
-                    ("file".into(), Json::str(&s.file)),
+                    ("file".into(), Json::u64(s.file as u64)),
                     ("bytes".into(), Json::u64(s.bytes)),
                     ("micros".into(), Json::u64(s.micros)),
                 ])
             })
             .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::str(&f.kind)),
+                    ("injected".into(), Json::u64(f.injected)),
+                    ("organic".into(), Json::u64(f.organic)),
+                ])
+            })
+            .collect();
+        let op_latency = self
+            .op_latency
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("op".into(), Json::str(&l.op)),
+                    ("count".into(), Json::u64(l.count)),
+                    ("p50_us".into(), Json::u64(l.p50_us)),
+                    ("p95_us".into(), Json::u64(l.p95_us)),
+                    ("p99_us".into(), Json::u64(l.p99_us)),
+                    ("max_us".into(), Json::u64(l.max_us)),
+                ])
+            })
+            .collect();
+        let imbalance = self
+            .imbalance
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("phase".into(), Json::str(&r.phase)),
+                    ("max_us".into(), Json::u64(r.max_us)),
+                    ("mean_us".into(), Json::u64(r.mean_us)),
+                ])
+            })
+            .collect();
+        let agg_bytes = self
+            .agg_bytes
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("rank".into(), Json::u64(a.rank as u64)),
+                    ("bytes".into(), Json::u64(a.bytes)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("format".into(), Json::str("spio-job-report")),
-            ("version".into(), Json::u64(1)),
+            ("version".into(), Json::u64(2)),
             ("nprocs".into(), Json::u64(self.nprocs as u64)),
+            (
+                "files".into(),
+                Json::Arr(self.files.iter().map(Json::str).collect()),
+            ),
             ("phases".into(), Json::Arr(phases)),
             ("comm".into(), Json::Arr(comm)),
             ("storage".into(), Json::Arr(storage)),
+            ("faults".into(), Json::Arr(faults)),
+            ("op_latency".into(), Json::Arr(op_latency)),
+            ("imbalance".into(), Json::Arr(imbalance)),
+            ("agg_bytes".into(), Json::Arr(agg_bytes)),
         ])
         .to_string()
     }
@@ -246,6 +494,10 @@ impl JobReport {
         let doc = Json::parse(text)?;
         if doc.get("format").and_then(Json::as_str) != Some("spio-job-report") {
             return Err("not a spio job report".into());
+        }
+        let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != 1 && version != 2 {
+            return Err(format!("unsupported job-report version {version}"));
         }
         let field = |obj: &Json, key: &str| -> Result<u64, String> {
             obj.get(key)
@@ -263,10 +515,17 @@ impl JobReport {
                 .and_then(Json::as_arr)
                 .ok_or_else(|| format!("missing array '{key}'"))
         };
+        // Optional arrays absent in version-1 documents.
+        let opt_arr = |key: &str| -> &[Json] { doc.get(key).and_then(Json::as_arr).unwrap_or(&[]) };
         let mut report = JobReport {
             nprocs: field(&doc, "nprocs")? as usize,
             ..Default::default()
         };
+        for f in opt_arr("files") {
+            report
+                .files
+                .push(f.as_str().ok_or("non-string file name")?.to_string());
+        }
         for p in arr("phases")? {
             report.phases.push(PhaseTotal {
                 rank: field(p, "rank")? as usize,
@@ -286,13 +545,61 @@ impl JobReport {
             });
         }
         for s in arr("storage")? {
+            // Version 1 stored the file name inline; intern it into the
+            // report's table so both versions land in the same shape.
+            let file = match s.get("file") {
+                Some(Json::Str(name)) => match report.files.iter().position(|f| f == name) {
+                    Some(i) => i as u32,
+                    None => {
+                        report.files.push(name.clone());
+                        (report.files.len() - 1) as u32
+                    }
+                },
+                _ => field(s, "file")? as u32,
+            };
             report.storage.push(StorageTotal {
                 rank: field(s, "rank")? as usize,
                 op: text_field(s, "op")?,
-                file: text_field(s, "file")?,
+                file,
                 bytes: field(s, "bytes")?,
                 micros: field(s, "micros")?,
             });
+        }
+        for f in opt_arr("faults") {
+            report.faults.push(FaultTotal {
+                kind: text_field(f, "kind")?,
+                injected: field(f, "injected")?,
+                organic: field(f, "organic")?,
+            });
+        }
+        for l in opt_arr("op_latency") {
+            report.op_latency.push(OpLatency {
+                op: text_field(l, "op")?,
+                count: field(l, "count")?,
+                p50_us: field(l, "p50_us")?,
+                p95_us: field(l, "p95_us")?,
+                p99_us: field(l, "p99_us")?,
+                max_us: field(l, "max_us")?,
+            });
+        }
+        for r in opt_arr("imbalance") {
+            report.imbalance.push(ImbalanceRow {
+                phase: text_field(r, "phase")?,
+                max_us: field(r, "max_us")?,
+                mean_us: field(r, "mean_us")?,
+            });
+        }
+        for a in opt_arr("agg_bytes") {
+            report.agg_bytes.push(AggBytes {
+                rank: field(a, "rank")? as usize,
+                bytes: field(a, "bytes")?,
+            });
+        }
+        if version == 1 {
+            // Version-1 documents predate the derived tables.
+            report.op_latency = report.compute_op_latency();
+            report.imbalance = report.compute_imbalance();
+            report.agg_bytes = report.compute_agg_bytes();
         }
         Ok(report)
     }
@@ -300,8 +607,9 @@ impl JobReport {
     // ---- rendering (the `spio report` subcommand) ----
 
     /// Human-readable rendering: Fig. 6-style phase breakdown (max across
-    /// ranks, proportional bars) followed by the communication matrix and a
-    /// storage-op summary.
+    /// ranks, proportional bars), the straggler/imbalance table, the
+    /// communication matrix, storage-op summary with latency percentiles,
+    /// per-rank written-byte skew, and the fault ledger.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("job report — {} ranks\n\n", self.nprocs));
@@ -334,6 +642,23 @@ impl JobReport {
                 "total",
                 format_micros(total)
             ));
+        }
+
+        if !self.imbalance.is_empty() {
+            out.push_str("\nphase imbalance (straggler cost = max/mean across ranks):\n");
+            out.push_str(&format!(
+                "  {:widest$}  {:>12}  {:>12}  {:>7}\n",
+                "phase", "max", "mean", "ratio"
+            ));
+            for row in &self.imbalance {
+                out.push_str(&format!(
+                    "  {:widest$}  {:>12}  {:>12}  {:>6.2}x\n",
+                    row.phase,
+                    format_micros(row.max_us),
+                    format_micros(row.mean_us),
+                    row.ratio(),
+                ));
+            }
         }
 
         out.push_str("\ncommunication matrix (src -> dst):\n");
@@ -381,6 +706,45 @@ impl JobReport {
                 ));
             }
         }
+
+        if !self.op_latency.is_empty() {
+            out.push_str("\nstorage latency percentiles (µs):\n");
+            out.push_str("  op             count      p50      p95      p99      max\n");
+            for l in &self.op_latency {
+                out.push_str(&format!(
+                    "  {:<12} {:>7}  {:>7}  {:>7}  {:>7}  {:>7}\n",
+                    l.op, l.count, l.p50_us, l.p95_us, l.p99_us, l.max_us
+                ));
+            }
+        }
+
+        if !self.agg_bytes.is_empty() {
+            let max = self.agg_bytes.iter().map(|a| a.bytes).max().unwrap_or(0);
+            let sum: u64 = self.agg_bytes.iter().map(|a| a.bytes).sum();
+            let mean = sum / self.agg_bytes.len() as u64;
+            out.push_str(&format!(
+                "\naggregator byte skew: {} writing ranks, max {} bytes, mean {} bytes ({:.2}x)\n",
+                self.agg_bytes.len(),
+                max,
+                mean,
+                if mean > 0 {
+                    max as f64 / mean as f64
+                } else {
+                    1.0
+                },
+            ));
+        }
+
+        if !self.faults.is_empty() {
+            out.push_str("\nfaults (injected vs organic):\n");
+            out.push_str("  kind              injected   organic\n");
+            for f in &self.faults {
+                out.push_str(&format!(
+                    "  {:<16} {:>9}  {:>8}\n",
+                    f.kind, f.injected, f.organic
+                ));
+            }
+        }
         out
     }
 }
@@ -416,7 +780,9 @@ mod tests {
             4096,
             Duration::from_millis(2),
         );
-        JobReport::from_events(2, &t.events())
+        t.fault(0, "transient", "file_0.spd", true);
+        t.fault(1, "io_error", "file_0.spd", false);
+        JobReport::from_snapshot(2, &t.snapshot())
     }
 
     #[test]
@@ -449,13 +815,79 @@ mod tests {
         t.storage_op(0, "read_file", "f", 10, Duration::from_micros(5));
         t.storage_op(0, "retry", "f", 1, Duration::from_micros(9));
         t.storage_op(1, "retry", "f", 1, Duration::from_micros(4));
-        let r = JobReport::from_events(2, &t.events());
+        let r = JobReport::from_snapshot(2, &t.snapshot());
         assert_eq!(r.storage_op_count("read_file"), 1);
         assert_eq!(r.retry_count(), 2);
         assert!(
             r.render().contains("retry"),
             "retries show in `spio report`"
         );
+    }
+
+    #[test]
+    fn op_latency_percentiles_are_exact_nearest_rank() {
+        let t = Trace::collecting();
+        for us in 1..=100u64 {
+            t.storage_op(0, "read_range", "f", 8, Duration::from_micros(us));
+        }
+        let r = JobReport::from_snapshot(1, &t.snapshot());
+        let l = r.op_latency("read_range").unwrap();
+        assert_eq!(l.count, 100);
+        assert_eq!(l.p50_us, 50);
+        assert_eq!(l.p95_us, 95);
+        assert_eq!(l.p99_us, 99);
+        assert_eq!(l.max_us, 100);
+        assert!(r.op_latency("absent").is_none());
+    }
+
+    #[test]
+    fn imbalance_ratio_flags_stragglers() {
+        let t = Trace::collecting();
+        t.phase(0, "file_io", Duration::from_millis(10));
+        t.phase(1, "file_io", Duration::from_millis(10));
+        t.phase(2, "file_io", Duration::from_millis(40));
+        // A phase only one rank enters is perfectly "balanced".
+        t.phase(0, "meta", Duration::from_millis(3));
+        let r = JobReport::from_snapshot(3, &t.snapshot());
+        let row = r.imbalance.iter().find(|i| i.phase == "file_io").unwrap();
+        assert_eq!(row.max_us, 40_000);
+        assert_eq!(row.mean_us, 20_000);
+        assert!((r.imbalance_ratio("file_io") - 2.0).abs() < 1e-9);
+        assert!((r.imbalance_ratio("meta") - 1.0).abs() < 1e-9);
+        assert!((r.imbalance_ratio("absent") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agg_bytes_tracks_writes_per_rank() {
+        let t = Trace::collecting();
+        t.storage_op(0, "write_file", "a", 100, Duration::ZERO);
+        t.storage_op(0, "write_range", "a", 50, Duration::ZERO);
+        t.storage_op(2, "write_file", "b", 300, Duration::ZERO);
+        t.storage_op(1, "read_file", "a", 999, Duration::ZERO); // not a write
+        let r = JobReport::from_snapshot(3, &t.snapshot());
+        assert_eq!(
+            r.agg_bytes,
+            vec![
+                AggBytes {
+                    rank: 0,
+                    bytes: 150
+                },
+                AggBytes {
+                    rank: 2,
+                    bytes: 300
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_ledger_splits_injected_and_organic() {
+        let r = sample_report();
+        assert_eq!(r.injected_fault_count(), 1);
+        assert_eq!(r.organic_fault_count(), 1);
+        let transient = r.faults.iter().find(|f| f.kind == "transient").unwrap();
+        assert_eq!((transient.injected, transient.organic), (1, 0));
+        assert!(r.render().contains("injected"));
     }
 
     #[test]
@@ -467,10 +899,36 @@ mod tests {
     }
 
     #[test]
+    fn from_json_accepts_version_1_documents() {
+        // A hand-built v1 report: storage file names inline, no derived
+        // tables. Parsing must intern the names and recompute.
+        let v1 = r#"{
+            "format": "spio-job-report", "version": 1, "nprocs": 2,
+            "phases": [
+                {"rank": 0, "phase": "file_io", "micros": 10},
+                {"rank": 1, "phase": "file_io", "micros": 30}
+            ],
+            "comm": [],
+            "storage": [
+                {"rank": 0, "op": "write_file", "file": "a.spd", "bytes": 64, "micros": 7},
+                {"rank": 1, "op": "write_file", "file": "a.spd", "bytes": 32, "micros": 9}
+            ]
+        }"#;
+        let r = JobReport::from_json(v1).unwrap();
+        assert_eq!(r.files, vec!["a.spd"]);
+        assert_eq!(r.storage[0].file, 0);
+        assert_eq!(r.storage[1].file, 0);
+        assert_eq!(r.op_latency("write_file").unwrap().max_us, 9);
+        assert_eq!(r.imbalance[0].max_us, 30);
+        assert_eq!(r.agg_bytes.len(), 2);
+    }
+
+    #[test]
     fn from_json_rejects_non_reports() {
         assert!(JobReport::from_json("{}").is_err());
         assert!(JobReport::from_json("not json").is_err());
         assert!(JobReport::from_json("{\"format\":\"other\"}").is_err());
+        assert!(JobReport::from_json("{\"format\":\"spio-job-report\",\"version\":99}").is_err());
     }
 
     #[test]
@@ -481,11 +939,14 @@ mod tests {
         assert!(text.contains("communication matrix"));
         assert!(text.contains("write_file"));
         assert!(text.contains("WARNING"), "imbalance must be called out");
+        assert!(text.contains("latency percentiles"));
+        assert!(text.contains("phase imbalance"));
+        assert!(text.contains("aggregator byte skew"));
     }
 
     #[test]
     fn empty_report_renders() {
-        let r = JobReport::from_events(4, &[]);
+        let r = JobReport::from_events(4, &[], &[]);
         let text = r.render();
         assert!(text.contains("4 ranks"));
         assert!(text.contains("no point-to-point"));

@@ -1,0 +1,252 @@
+//! Timeline views: per-rank span lanes rendered as ASCII, and RAII span
+//! guards for timestamped recording.
+//!
+//! The Chrome export ([`crate::chrome_trace`]) is the high-fidelity view;
+//! this module is the terminal version — `spio trace snapshot.json` prints
+//! one lane per rank with phase spans drawn to scale, which is enough to
+//! spot a straggler or a serialized I/O phase without leaving the shell.
+
+use crate::shard::TraceSnapshot;
+use crate::{Trace, TraceEvent};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One span on a rank's lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub name: String,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+/// Per-rank lanes of phase and storage spans, extracted from a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// rank → spans sorted by start time.
+    pub lanes: BTreeMap<usize, Vec<Span>>,
+    /// End of the last span, µs since the job epoch.
+    pub end_us: u64,
+}
+
+impl Timeline {
+    /// Build lanes from the spanful events (phases and storage ops;
+    /// messages and faults are instants and stay off the lanes).
+    pub fn from_snapshot(snapshot: &TraceSnapshot) -> Timeline {
+        let mut lanes: BTreeMap<usize, Vec<Span>> = BTreeMap::new();
+        for ev in &snapshot.events {
+            let (rank, name, start_us, end_us) = match ev {
+                TraceEvent::Phase {
+                    rank,
+                    phase,
+                    start_us,
+                    dur,
+                } => (
+                    *rank,
+                    phase.to_string(),
+                    *start_us,
+                    start_us + dur.as_micros() as u64,
+                ),
+                TraceEvent::StorageOp {
+                    rank,
+                    op,
+                    file,
+                    start_us,
+                    dur,
+                    ..
+                } => (
+                    *rank,
+                    format!("{op}({})", snapshot.file_name(*file)),
+                    *start_us,
+                    start_us + dur.as_micros() as u64,
+                ),
+                TraceEvent::Message { .. } | TraceEvent::Fault { .. } => continue,
+            };
+            lanes.entry(rank).or_default().push(Span {
+                name,
+                start_us,
+                end_us,
+            });
+        }
+        let mut end_us = 0;
+        for spans in lanes.values_mut() {
+            spans.sort_by_key(|s| (s.start_us, s.end_us));
+            end_us = end_us.max(spans.iter().map(|s| s.end_us).max().unwrap_or(0));
+        }
+        Timeline { lanes, end_us }
+    }
+
+    /// Draw the lanes `width` characters wide. Each distinct span name gets
+    /// a letter code; overlapping spans on a lane overwrite left-to-right
+    /// (later starts win), which matches how nested phase/op spans read.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        if self.lanes.is_empty() || self.end_us == 0 {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        // Stable letter codes in first-seen-per-sorted-lane order.
+        let mut codes: BTreeMap<&str, char> = BTreeMap::new();
+        let alphabet: Vec<char> = ('A'..='Z').chain('a'..='z').collect();
+        for spans in self.lanes.values() {
+            for s in spans {
+                let next = alphabet[codes.len() % alphabet.len()];
+                codes.entry(&s.name).or_insert(next);
+            }
+        }
+        let scale = width as f64 / self.end_us as f64;
+        for (rank, spans) in &self.lanes {
+            let mut row = vec!['.'; width];
+            for s in spans {
+                let a = ((s.start_us as f64 * scale) as usize).min(width - 1);
+                let b = ((s.end_us as f64 * scale).ceil() as usize).clamp(a + 1, width);
+                let code = codes[s.name.as_str()];
+                for cell in &mut row[a..b] {
+                    *cell = code;
+                }
+            }
+            out.push_str(&format!(
+                "rank {rank:>4} |{}|\n",
+                row.into_iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!(
+            "           0 {:>w$}\n",
+            format!("{} µs", self.end_us),
+            w = width.saturating_sub(1),
+        ));
+        out.push_str("legend: ");
+        let mut first = true;
+        for (name, code) in &codes {
+            if !first {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{code}={name}"));
+            first = false;
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// RAII guard that records a timestamped phase span when dropped. Obtained
+/// from [`Trace::span`]; when the trace is disabled the guard holds no
+/// clock reading and drop is a no-op.
+#[must_use = "the span records on drop; binding to _ ends it immediately"]
+pub struct ScopedSpan {
+    trace: Trace,
+    rank: usize,
+    phase: &'static str,
+    t0: Option<Instant>,
+}
+
+impl ScopedSpan {
+    pub(crate) fn new(trace: &Trace, rank: usize, phase: &'static str) -> ScopedSpan {
+        ScopedSpan {
+            t0: trace.is_enabled().then(Instant::now),
+            trace: trace.clone(),
+            rank,
+            phase,
+        }
+    }
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        if let Some(t0) = self.t0 {
+            self.trace.phase(self.rank, self.phase, t0.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn snap() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                TraceEvent::Phase {
+                    rank: 0,
+                    phase: "aggregation",
+                    start_us: 0,
+                    dur: Duration::from_micros(50),
+                },
+                TraceEvent::Phase {
+                    rank: 0,
+                    phase: "file_io",
+                    start_us: 50,
+                    dur: Duration::from_micros(50),
+                },
+                TraceEvent::Phase {
+                    rank: 1,
+                    phase: "aggregation",
+                    start_us: 0,
+                    dur: Duration::from_micros(100),
+                },
+            ],
+            files: vec![],
+        }
+    }
+
+    #[test]
+    fn lanes_are_per_rank_and_sorted() {
+        let t = Timeline::from_snapshot(&snap());
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.end_us, 100);
+        assert_eq!(t.lanes[&0].len(), 2);
+        assert!(t.lanes[&0][0].start_us <= t.lanes[&0][1].start_us);
+    }
+
+    #[test]
+    fn ascii_render_scales_spans() {
+        let t = Timeline::from_snapshot(&snap());
+        let text = t.render_ascii(40);
+        assert!(text.contains("rank    0"));
+        assert!(text.contains("rank    1"));
+        assert!(text.contains("legend:"));
+        assert!(text.contains("=aggregation"));
+        // Rank 1 is a single span: its row must be one solid code.
+        let row1 = text.lines().nth(1).unwrap();
+        let bar: &str = row1.split('|').nth(1).unwrap();
+        let c = bar.chars().next().unwrap();
+        assert!(bar.chars().all(|x| x == c), "solid lane, got {bar:?}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let t = Timeline::from_snapshot(&TraceSnapshot::default());
+        assert!(t.render_ascii(40).contains("no spans"));
+    }
+
+    #[test]
+    fn scoped_span_records_on_drop() {
+        let trace = Trace::collecting();
+        {
+            let _s = trace.span(3, "scoped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            TraceEvent::Phase {
+                rank, phase, dur, ..
+            } => {
+                assert_eq!(*rank, 3);
+                assert_eq!(*phase, "scoped");
+                assert!(*dur >= Duration::from_millis(1));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_span_on_disabled_trace_is_noop() {
+        let trace = Trace::off();
+        let s = trace.span(0, "nothing");
+        assert!(s.t0.is_none());
+        drop(s);
+        assert!(trace.is_empty());
+    }
+}

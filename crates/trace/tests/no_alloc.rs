@@ -31,6 +31,12 @@ fn disabled_trace_never_allocates() {
     let trace = Trace::off();
     assert!(!trace.is_enabled());
 
+    // Instrument handles resolved from a disabled registry are inert too.
+    let metrics = trace.metrics();
+    let counter = metrics.counter("storage.write_file.ops");
+    let gauge = metrics.gauge("queue.depth");
+    let histogram = metrics.histogram("storage.write_file.latency_us");
+
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..10_000usize {
         trace.phase(i % 8, "aggregation", Duration::from_micros(17));
@@ -43,6 +49,13 @@ fn disabled_trace_never_allocates() {
             1 << 20,
             Duration::from_micros(3),
         );
+        trace.fault(i % 8, "transient", "file_0.spd", true);
+        counter.inc();
+        counter.add(i as u64);
+        gauge.set(i as i64);
+        gauge.add(-1);
+        histogram.record(i as u64);
+        histogram.record_duration(Duration::from_micros(3));
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "no-op sink must be allocation-free");

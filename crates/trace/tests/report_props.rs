@@ -1,0 +1,171 @@
+//! Property tests for [`JobReport`] serialization: any report — including
+//! the version-2 derived tables (latency percentiles, imbalance rows,
+//! per-rank write bytes, fault ledger) — must survive a JSON round trip
+//! bit-for-bit, whether built field-by-field or derived from a random
+//! event stream.
+
+use spio_trace::{
+    AggBytes, CommEntry, Dir, FaultTotal, ImbalanceRow, JobReport, OpLatency, PhaseTotal,
+    StorageTotal, Trace,
+};
+use spio_util::check::{cases, Gen};
+use std::time::Duration;
+
+const OPS: [&str; 4] = ["write_file", "read_file", "read_range", "retry"];
+const PHASES: [&str; 4] = ["setup", "aggregation", "file_io", "meta"];
+const KINDS: [&str; 4] = ["transient", "torn_write", "io_error", "partial_read"];
+
+fn arbitrary_report(g: &mut Gen) -> JobReport {
+    let nfiles = g.usize_in(1, 5);
+    let mut r = JobReport {
+        nprocs: g.usize_in(1, 64),
+        files: (0..nfiles).map(|i| format!("file_{i}.spd")).collect(),
+        ..Default::default()
+    };
+    for _ in 0..g.usize_in(0, 6) {
+        r.phases.push(PhaseTotal {
+            rank: g.usize_in(0, 64),
+            phase: PHASES[g.index(PHASES.len())].to_string(),
+            micros: g.u64_in(0, 1 << 32),
+        });
+    }
+    for _ in 0..g.usize_in(0, 6) {
+        r.comm.push(CommEntry {
+            src: g.usize_in(0, 64),
+            dst: g.usize_in(0, 64),
+            tag: g.u32_in(0, 16),
+            msgs_sent: g.u64_in(0, 1000),
+            bytes_sent: g.u64_in(0, 1 << 40),
+            msgs_received: g.u64_in(0, 1000),
+            bytes_received: g.u64_in(0, 1 << 40),
+        });
+    }
+    for _ in 0..g.usize_in(0, 8) {
+        r.storage.push(StorageTotal {
+            rank: g.usize_in(0, 64),
+            op: OPS[g.index(OPS.len())].to_string(),
+            file: g.u32_in(0, nfiles as u32),
+            bytes: g.u64_in(0, 1 << 40),
+            micros: g.u64_in(0, 1 << 32),
+        });
+    }
+    for _ in 0..g.usize_in(0, 3) {
+        r.faults.push(FaultTotal {
+            kind: KINDS[g.index(KINDS.len())].to_string(),
+            injected: g.u64_in(0, 100),
+            organic: g.u64_in(0, 100),
+        });
+    }
+    for _ in 0..g.usize_in(0, 3) {
+        r.op_latency.push(OpLatency {
+            op: OPS[g.index(OPS.len())].to_string(),
+            count: g.u64_in(1, 1000),
+            p50_us: g.u64_in(0, 1 << 20),
+            p95_us: g.u64_in(0, 1 << 20),
+            p99_us: g.u64_in(0, 1 << 20),
+            max_us: g.u64_in(0, 1 << 20),
+        });
+    }
+    for _ in 0..g.usize_in(0, 3) {
+        r.imbalance.push(ImbalanceRow {
+            phase: PHASES[g.index(PHASES.len())].to_string(),
+            max_us: g.u64_in(0, 1 << 32),
+            mean_us: g.u64_in(0, 1 << 32),
+        });
+    }
+    for _ in 0..g.usize_in(0, 4) {
+        r.agg_bytes.push(AggBytes {
+            rank: g.usize_in(0, 64),
+            bytes: g.u64_in(0, 1 << 40),
+        });
+    }
+    r
+}
+
+#[test]
+fn any_report_roundtrips_through_json() {
+    cases(200, |g| {
+        let report = arbitrary_report(g);
+        let back = JobReport::from_json(&report.to_json())
+            .unwrap_or_else(|e| panic!("rejected own output: {e}"));
+        assert_eq!(back, report);
+    });
+}
+
+/// The stronger end-to-end property: record a random event stream, derive
+/// the report (which computes the v2 tables), round-trip it, and also
+/// check the derived tables agree with recomputation from the same events.
+#[test]
+fn derived_reports_roundtrip_and_rederive() {
+    cases(60, |g| {
+        let trace = Trace::collecting();
+        let nprocs = g.usize_in(1, 9);
+        for _ in 0..g.usize_in(1, 40) {
+            match g.index(4) {
+                0 => trace.phase(
+                    g.index(nprocs),
+                    PHASES[g.index(PHASES.len())],
+                    Duration::from_micros(g.u64_in(0, 10_000)),
+                ),
+                1 => trace.message(
+                    g.index(nprocs),
+                    g.index(nprocs),
+                    g.u32_in(0, 4),
+                    g.u64_in(0, 1 << 20),
+                    if g.bool() { Dir::Sent } else { Dir::Received },
+                ),
+                2 => trace.storage_op(
+                    g.index(nprocs),
+                    OPS[g.index(OPS.len())],
+                    &format!("f{}.spd", g.index(3)),
+                    g.u64_in(0, 1 << 20),
+                    Duration::from_micros(g.u64_in(0, 10_000)),
+                ),
+                _ => trace.fault(
+                    g.index(nprocs),
+                    KINDS[g.index(KINDS.len())],
+                    &format!("f{}.spd", g.index(3)),
+                    g.bool(),
+                ),
+            }
+        }
+        let snapshot = trace.snapshot();
+        let report = JobReport::from_snapshot(nprocs, &snapshot);
+        let back = JobReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // Derived tables are pure functions of the event stream.
+        assert_eq!(JobReport::from_snapshot(nprocs, &snapshot), report);
+        // Sanity: every storage record's file id resolves.
+        for s in &report.storage {
+            assert!(report.file_name(s.file).starts_with('f'));
+        }
+        let _ = report.render();
+    });
+}
+
+/// Snapshot JSON round-trips too, including the interned file table, and
+/// report derivation commutes with snapshot serialization.
+#[test]
+fn snapshot_roundtrip_preserves_report() {
+    cases(40, |g| {
+        let trace = Trace::collecting();
+        let nprocs = g.usize_in(1, 5);
+        for _ in 0..g.usize_in(1, 20) {
+            trace.storage_op(
+                g.index(nprocs),
+                OPS[g.index(OPS.len())],
+                &format!("f{}.spd", g.index(4)),
+                g.u64_in(0, 1 << 16),
+                Duration::from_micros(g.u64_in(0, 1000)),
+            );
+        }
+        let snapshot = trace.snapshot();
+        let back = spio_trace::TraceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.files, snapshot.files);
+        assert_eq!(back.events.len(), snapshot.events.len());
+        assert_eq!(
+            JobReport::from_snapshot(nprocs, &back),
+            JobReport::from_snapshot(nprocs, &snapshot)
+        );
+    });
+}

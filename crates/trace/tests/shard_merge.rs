@@ -1,0 +1,168 @@
+//! Sharded-buffer correctness: concurrent recording from many rank
+//! threads must merge to exactly the event multiset a serial recorder
+//! would produce — nothing lost, nothing duplicated, file ids resolving
+//! to the right names. Timestamps differ between the two recordings
+//! (they read real clocks), so events are compared by a canonical key
+//! with times stripped.
+
+use spio_trace::{Dir, Trace, TraceEvent, TraceSnapshot};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const RANKS: usize = 16;
+const REPS: usize = 200;
+
+/// Canonical, timestamp-free rendering of an event, with storage-op file
+/// ids resolved through the snapshot's string table so recordings with
+/// different interning orders still compare equal.
+fn key(ev: &TraceEvent, snap: &TraceSnapshot) -> String {
+    match ev {
+        TraceEvent::Phase {
+            rank, phase, dur, ..
+        } => format!("phase r{rank} {phase} {}us", dur.as_micros()),
+        TraceEvent::Message {
+            src,
+            dst,
+            tag,
+            bytes,
+            dir,
+            ..
+        } => format!("msg {src}->{dst} tag{tag} {bytes}B {dir:?}"),
+        TraceEvent::StorageOp {
+            rank,
+            op,
+            file,
+            bytes,
+            dur,
+            ..
+        } => format!(
+            "op r{rank} {op} {} {bytes}B {}us",
+            snap.file_name(*file),
+            dur.as_micros()
+        ),
+        TraceEvent::Fault {
+            rank,
+            kind,
+            file,
+            injected,
+            ..
+        } => format!(
+            "fault r{rank} {kind} {} injected={injected}",
+            snap.file_name(*file)
+        ),
+    }
+}
+
+fn multiset(snap: &TraceSnapshot) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for ev in &snap.events {
+        *counts.entry(key(ev, snap)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Drive every recording entry point for one rank. The payloads are
+/// functions of `(rank, rep)` so each record is distinguishable and the
+/// expected multiset is computable without running threads.
+fn record_rank(trace: &Trace, rank: usize) {
+    for rep in 0..REPS {
+        trace.phase(rank, "aggregation", Duration::from_micros((rep + 1) as u64));
+        trace.phase(rank, "file_io", Duration::from_micros((2 * rep + 1) as u64));
+        trace.message(
+            rank,
+            (rank + 1) % RANKS,
+            7,
+            (rank * REPS + rep) as u64,
+            Dir::Sent,
+        );
+        trace.message(
+            (rank + RANKS - 1) % RANKS,
+            rank,
+            7,
+            rep as u64,
+            Dir::Received,
+        );
+        trace.storage_op(
+            rank,
+            "write_file",
+            &format!("file_{}.spd", rank % 4),
+            rep as u64,
+            Duration::from_micros(rank as u64),
+        );
+        if rep % 17 == 0 {
+            trace.fault(rank, "transient", &format!("file_{}.spd", rank % 4), true);
+        }
+    }
+}
+
+#[test]
+fn concurrent_sharded_recording_merges_to_the_serial_multiset() {
+    // Serial reference: one thread records all ranks in order.
+    let serial = Trace::collecting();
+    for rank in 0..RANKS {
+        record_rank(&serial, rank);
+    }
+    let expected = multiset(&serial.snapshot());
+
+    // Concurrent: one thread per rank, all hammering the shared trace.
+    let concurrent = Trace::collecting();
+    std::thread::scope(|s| {
+        for rank in 0..RANKS {
+            let t = concurrent.clone();
+            s.spawn(move || record_rank(&t, rank));
+        }
+    });
+    let snap = concurrent.snapshot();
+
+    // 2 phases + 2 messages + 1 storage op per rep, plus the periodic fault.
+    let per_rank_events = 5 * REPS + REPS.div_ceil(17);
+    assert_eq!(snap.events.len(), RANKS * per_rank_events);
+    assert_eq!(
+        multiset(&snap),
+        expected,
+        "merged multiset must match serial recording"
+    );
+}
+
+#[test]
+fn concurrent_interning_yields_one_id_per_name() {
+    let trace = Trace::collecting();
+    std::thread::scope(|s| {
+        for rank in 0..RANKS {
+            let t = trace.clone();
+            s.spawn(move || {
+                for rep in 0..REPS {
+                    t.storage_op(
+                        rank,
+                        "read_file",
+                        &format!("shared_{}.spd", rep % 3),
+                        1,
+                        Duration::ZERO,
+                    );
+                }
+            });
+        }
+    });
+    let snap = trace.snapshot();
+    // Three distinct names, however many threads raced to intern them.
+    assert_eq!(snap.files.len(), 3);
+    for ev in &snap.events {
+        let TraceEvent::StorageOp { file, .. } = ev else {
+            panic!("unexpected event {ev:?}");
+        };
+        assert!(snap.file_name(*file).starts_with("shared_"));
+    }
+}
+
+#[test]
+fn take_events_drains_across_shards() {
+    let trace = Trace::collecting();
+    std::thread::scope(|s| {
+        for rank in 0..8 {
+            let t = trace.clone();
+            s.spawn(move || t.phase(rank, "setup", Duration::from_micros(1)));
+        }
+    });
+    assert_eq!(trace.take_events().len(), 8);
+    assert!(trace.is_empty(), "drain must leave every shard empty");
+}

@@ -195,7 +195,7 @@ fn transient_faults_absorbed_by_retry_with_trace_evidence() {
     let (ps, _) = reader.read_all(&retry).unwrap();
     assert_eq!(ps.len(), 1200);
     assert!(retry.retries() > 0);
-    let report = JobReport::from_events(1, &trace.events());
+    let report = JobReport::from_snapshot(1, &trace.snapshot());
     assert_eq!(report.retry_count() as u64, retry.retries());
     assert!(report.render().contains("retry"));
     assert!(chaos.stats().transient_faults > 0);
