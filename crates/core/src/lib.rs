@@ -37,7 +37,8 @@ pub use chaos::{ChaosConfig, ChaosStats, ChaosStorage};
 pub use grid::{AggregationGrid, Partition};
 pub use plan::{ReadPlan, WritePlan};
 pub use reader::{
-    BoxQueryReader, DatasetReader, FileOutcome, LodCursor, LodReader, PartialRead, RestartReader,
+    append_box_hits, BoxQueryReader, DatasetReader, FileOutcome, LodCursor, LodReader, PartialRead,
+    RestartReader,
 };
 pub use retry::{RetryPolicy, RetryStorage};
 pub use shuffle::LodOrder;

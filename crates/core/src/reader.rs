@@ -86,14 +86,8 @@ impl DatasetReader {
             stats.files_opened += 1;
             stats.bytes_read += bytes.len() as u64;
             let (_, particles) = decode_data_file(&bytes)?;
-            if query_contains_box(query, &entry.bounds) {
-                out.extend(particles);
-            } else {
-                let decoded = particles.len();
-                let kept_before = out.len();
-                out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
-                stats.particles_discarded += (decoded - (out.len() - kept_before)) as u64;
-            }
+            let kept = append_box_hits(query, &entry.bounds, &particles, &mut out);
+            stats.particles_discarded += (particles.len() - kept) as u64;
         }
         stats.particles_read = out.len() as u64;
         stats.time = t0.elapsed();
@@ -201,18 +195,11 @@ impl DatasetReader {
                 .map(|(_, particles)| particles);
             match decoded {
                 Ok(particles) => {
-                    let decoded = particles.len();
-                    let before = out.len();
-                    if query_contains_box(query, &entry.bounds) {
-                        out.extend(particles);
-                    } else {
-                        out.extend(particles.into_iter().filter(|p| query.contains(p.position)));
-                    }
-                    let kept = (out.len() - before) as u64;
-                    stats.particles_discarded += decoded as u64 - kept;
+                    let kept = append_box_hits(query, &entry.bounds, &particles, &mut out);
+                    stats.particles_discarded += (particles.len() - kept) as u64;
                     outcomes.push(FileOutcome {
                         file: name,
-                        particles: kept,
+                        particles: kept as u64,
                         error: None,
                     });
                 }
@@ -283,6 +270,35 @@ impl PartialRead {
 
 fn query_contains_box(query: &Aabb3, b: &Aabb3) -> bool {
     (0..3).all(|a| query.lo[a] <= b.lo[a] && b.hi[a] <= query.hi[a])
+}
+
+/// Append the particles of one decoded file that fall inside `query`,
+/// returning how many were kept. Files whose bounds lie fully inside the
+/// query skip the per-particle containment test.
+///
+/// This is the single filtering step shared by [`DatasetReader::read_box`],
+/// [`DatasetReader::read_box_partial`], and the `spio-serve` concurrent
+/// executor — one implementation is what makes the concurrent engine's
+/// results byte-identical to the serial read path.
+pub fn append_box_hits(
+    query: &Aabb3,
+    file_bounds: &Aabb3,
+    particles: &[Particle],
+    out: &mut Vec<Particle>,
+) -> usize {
+    if query_contains_box(query, file_bounds) {
+        out.extend_from_slice(particles);
+        particles.len()
+    } else {
+        let before = out.len();
+        out.extend(
+            particles
+                .iter()
+                .filter(|p| query.contains(p.position))
+                .copied(),
+        );
+        out.len() - before
+    }
 }
 
 /// Parallel visualization-style reads (§5.3): `n` readers (usually far

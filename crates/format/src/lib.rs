@@ -14,15 +14,20 @@
 //! * **LOD level math** ([`lod`]) — the `x(n, l) = n · P · S^l` level-size
 //!   formula of §3.4 and the prefix arithmetic readers use to turn "read up
 //!   to level l" into byte ranges.
+//! * **The spatial file index** ([`index`]) — a z-order-sorted BVH over the
+//!   metadata's file boxes for O(log n + k) file selection when the same
+//!   dataset serves many queries.
 //!
 //! All integers are little-endian; all files start with an 8-byte magic and
 //! a format version so readers can fail fast on foreign bytes.
 
 pub mod data_file;
+pub mod index;
 pub mod lod;
 pub mod meta;
 
 pub use data_file::{DataFileHeader, DATA_MAGIC, DATA_VERSION};
+pub use index::SpatialIndex;
 pub use lod::LodParams;
 pub use meta::{FileEntry, SpatialMetadata, META_MAGIC, META_VERSION};
 

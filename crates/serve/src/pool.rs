@@ -1,0 +1,200 @@
+//! Std-only worker pool and admission gate for the query executor.
+//!
+//! The pool fans per-file decode+filter jobs across a fixed set of threads;
+//! the gate bounds how many *queries* are in flight at once, so a burst of
+//! clients degrades to queueing instead of unbounded memory growth (each
+//! admitted query can hold decoded blocks while it assembles its result).
+
+use spio_trace::Gauge;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size thread pool executing boxed jobs from a shared queue.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("spio-serve-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queue a job. Panics if called after drop began (impossible through
+    /// the public API).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Lock only to dequeue; run the job with the queue unlocked so
+        // other workers keep draining.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // pool dropped its sender: drain done
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the queue; workers exit after draining it
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Counting semaphore bounding in-flight queries, with the current depth
+/// mirrored into a `serve.inflight` gauge.
+pub struct AdmissionGate {
+    state: Mutex<usize>,
+    cv: Condvar,
+    max: usize,
+    inflight: Gauge,
+}
+
+impl AdmissionGate {
+    pub fn new(max: usize, inflight: Gauge) -> AdmissionGate {
+        AdmissionGate {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+            max: max.max(1),
+            inflight,
+        }
+    }
+
+    /// Block until a slot frees, then take it. The returned permit releases
+    /// on drop (also on panic, so a failed query never leaks a slot).
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut n = self.state.lock().unwrap();
+        while *n >= self.max {
+            n = self.cv.wait(n).unwrap();
+        }
+        *n += 1;
+        self.inflight.set(*n as i64);
+        Permit { gate: self }
+    }
+
+    /// Queries currently admitted.
+    pub fn in_flight(&self) -> usize {
+        *self.state.lock().unwrap()
+    }
+}
+
+/// RAII slot in the admission gate.
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.gate.state.lock().unwrap();
+        *n -= 1;
+        self.gate.inflight.set(*n as i64);
+        drop(n);
+        self.gate.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_all_jobs_and_joins_on_drop() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(4);
+            assert_eq!(pool.workers(), 4);
+            for _ in 0..100 {
+                let done = done.clone();
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop waits for the queue to drain
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = channel();
+        pool.submit(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn gate_bounds_concurrency() {
+        let metrics = spio_trace::Trace::collecting().metrics();
+        let gate = Arc::new(AdmissionGate::new(3, metrics.gauge("serve.inflight")));
+        let active = Arc::new(AtomicUsize::new(0));
+        let high_water = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let (gate, active, high) = (gate.clone(), active.clone(), high_water.clone());
+                std::thread::spawn(move || {
+                    let _permit = gate.acquire();
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    high.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(high_water.load(Ordering::SeqCst) <= 3);
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(metrics.gauge_value("serve.inflight"), 0);
+    }
+
+    #[test]
+    fn permit_releases_on_panic() {
+        let gate = Arc::new(AdmissionGate::new(1, Gauge::default()));
+        let g = gate.clone();
+        let _ = std::thread::spawn(move || {
+            let _permit = g.acquire();
+            panic!("query died");
+        })
+        .join();
+        // The slot must be free again.
+        let _permit = gate.acquire();
+        assert_eq!(gate.in_flight(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cache-under-chaos: faulted files must never be admitted to the block
+//! cache (no sticky corruption), degradation must stay per-file, and a
+//! warm cache must serve bytes identical to a cold read once the fault
+//! clears.
+
+use spio_comm::run_threaded_collect;
+use spio_core::{
+    ChaosConfig, ChaosStorage, DatasetReader, MemStorage, SpatialWriter, Storage, WriterConfig,
+};
+use spio_format::META_FILE_NAME;
+use spio_serve::{Query, QueryEngine, ServeConfig};
+use spio_types::particle::encode_particles;
+use spio_types::{Aabb3, DomainDecomposition, GridDims, PartitionFactor};
+use spio_workloads::uniform_patch_particles;
+
+/// 4 writer ranks, one file per writer patch → 4 data files covering the
+/// unit cube.
+fn build_dataset() -> MemStorage {
+    let storage = MemStorage::new();
+    let s = storage.clone();
+    let d = DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(2, 2, 1));
+    run_threaded_collect(4, move |comm| {
+        let ps = uniform_patch_particles(&d, spio_comm::Comm::rank(&comm), 200, 5);
+        SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(1, 1, 1)))
+            .write(&comm, &ps, &s)
+            .unwrap()
+    })
+    .unwrap();
+    storage
+}
+
+fn whole_domain() -> Query {
+    Query::Box(Aabb3::new([0.0; 3], [1.0; 3]))
+}
+
+#[test]
+fn poisoned_file_degrades_per_file_and_is_never_cached() {
+    let storage = build_dataset();
+    let chaos = ChaosStorage::new(storage, ChaosConfig::default());
+    let engine = QueryEngine::open(chaos, ServeConfig::default()).unwrap();
+    let files = engine.meta().entries.len();
+    assert_eq!(files, 4);
+    let victim = engine.meta().entries[2].file_name();
+    engine.storage().poison(&victim);
+
+    let got = engine.execute(&whole_domain());
+    assert_eq!(got.failures.len(), 1, "exactly the poisoned file fails");
+    assert_eq!(got.failures[0].file, victim);
+    assert!(!got.particles.is_empty(), "healthy files still served");
+    // The fault was never admitted: only the healthy blocks are cached.
+    assert_eq!(engine.cache_stats().blocks as usize, files - 1);
+
+    // A persistent fault keeps failing per query — served from storage
+    // (and failing there), never from a stale cache entry.
+    let again = engine.execute(&whole_domain());
+    assert_eq!(again.failures.len(), 1);
+    assert_eq!(again.stats.cache_misses, 1, "only the poisoned file misses");
+    assert_eq!(
+        encode_particles(&again.particles),
+        encode_particles(&got.particles),
+        "degraded results stay deterministic"
+    );
+    assert_eq!(engine.cache_stats().blocks as usize, files - 1);
+}
+
+#[test]
+fn transient_fault_is_not_cached_and_clears_on_retry() {
+    let storage = build_dataset();
+    // Deterministic schedule: chaos-eligible read ops 1, 4, 7, 10, … fault
+    // transiently. Op 1 is burned below, op 2 is the engine's metadata
+    // read, the first query's four file reads are ops 3–6 (one fault),
+    // the retry of the failed file is op 7 (faults again), and its second
+    // retry is op 8 (succeeds).
+    let chaos = ChaosStorage::new(
+        storage.clone(),
+        ChaosConfig {
+            transient_every: Some(3),
+            ..ChaosConfig::default()
+        },
+    );
+    assert!(
+        spio_core::Storage::read_file(&chaos, META_FILE_NAME).is_err(),
+        "op 1 burned on a metadata read"
+    );
+    let engine = QueryEngine::open(chaos, ServeConfig::default()).unwrap();
+    let files = engine.meta().entries.len();
+
+    let first = engine.execute(&whole_domain());
+    assert_eq!(first.failures.len(), 1, "one transient fault in ops 3-6");
+    assert_eq!(engine.cache_stats().blocks as usize, files - 1);
+
+    let second = engine.execute(&whole_domain());
+    assert_eq!(second.failures.len(), 1, "op 7 faults the retry too");
+    assert_eq!(second.failures[0].file, first.failures[0].file);
+
+    let third = engine.execute(&whole_domain());
+    assert!(third.is_complete(), "op 8 succeeds; the fault has cleared");
+    assert_eq!(engine.cache_stats().blocks as usize, files);
+
+    // Recovered result is byte-identical to the serial reader on the
+    // pristine storage.
+    let serial = DatasetReader::open(&storage).unwrap();
+    let (expect, _) = serial
+        .read_box(&storage, &Aabb3::new([0.0; 3], [1.0; 3]))
+        .unwrap();
+    assert_eq!(
+        encode_particles(&third.particles),
+        encode_particles(&expect)
+    );
+}
+
+#[test]
+fn corrupt_bytes_never_cached_and_warm_equals_cold() {
+    let storage = build_dataset();
+    let serial = DatasetReader::open(&storage).unwrap();
+    let region = Aabb3::new([0.0; 3], [1.0; 3]);
+    let (expect, _) = serial.read_box(&storage, &region).unwrap();
+
+    let chaos = ChaosStorage::new(storage, ChaosConfig::default());
+    let engine = QueryEngine::open(chaos, ServeConfig::default()).unwrap();
+    let files = engine.meta().entries.len();
+    let victim = engine.meta().entries[0].file_name();
+
+    // Flip one payload byte: structurally valid, caught by the format-v2
+    // chunk checksums at decode time.
+    let pristine = engine.storage().inner().read_file(&victim).unwrap();
+    let mut bytes = pristine.clone();
+    let mid = spio_format::data_file::HEADER_BYTES + bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    engine
+        .storage()
+        .inner()
+        .write_file(&victim, &bytes)
+        .unwrap();
+
+    let degraded = engine.execute(&whole_domain());
+    assert_eq!(degraded.failures.len(), 1);
+    assert_eq!(degraded.failures[0].file, victim);
+    assert_eq!(
+        engine.cache_stats().blocks as usize,
+        files - 1,
+        "the corrupt block was never admitted"
+    );
+
+    // Heal the file; the next read decodes cleanly and gets cached.
+    engine
+        .storage()
+        .inner()
+        .write_file(&victim, &pristine)
+        .unwrap();
+    let cold = engine.execute(&whole_domain());
+    assert!(cold.is_complete());
+    assert_eq!(encode_particles(&cold.particles), encode_particles(&expect));
+
+    // Fully warm repeat: zero storage bytes, byte-identical to the cold
+    // read (and hence to the serial oracle).
+    let warm = engine.execute(&whole_domain());
+    assert_eq!(warm.stats.bytes_read, 0);
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(encode_particles(&warm.particles), encode_particles(&expect));
+}

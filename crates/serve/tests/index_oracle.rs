@@ -1,0 +1,88 @@
+//! Property test: the spatial index's file selection is identical to the
+//! linear `files_intersecting` oracle on randomized box queries, over
+//! metadata produced by real writes of all three synthetic workloads
+//! (uniform, clusters, jet).
+
+use spio_comm::{run_threaded_collect, Comm};
+use spio_core::{DatasetReader, MemStorage, SpatialWriter, WriterConfig};
+use spio_format::{SpatialIndex, SpatialMetadata};
+use spio_types::{Aabb3, DomainDecomposition, GridDims, Particle, PartitionFactor};
+use spio_util::{cases, Gen};
+use spio_workloads::{
+    cluster_patch_particles, jet_patch_particles, uniform_patch_particles, ClusterSpec, JetSpec,
+};
+
+fn write_dataset(
+    gen: impl Fn(&DomainDecomposition, usize) -> Vec<Particle> + Clone + Send + Sync + 'static,
+) -> SpatialMetadata {
+    let storage = MemStorage::new();
+    let s = storage.clone();
+    let d = DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::new(4, 2, 2));
+    run_threaded_collect(16, move |comm| {
+        let ps = gen(&d, comm.rank());
+        SpatialWriter::new(d.clone(), WriterConfig::new(PartitionFactor::new(2, 2, 1)))
+            .write(&comm, &ps, &s)
+            .unwrap()
+    })
+    .unwrap();
+    DatasetReader::open(&storage).unwrap().meta
+}
+
+fn random_query(g: &mut Gen, domain: &Aabb3) -> Aabb3 {
+    let e = domain.extent();
+    let mut lo = [0.0f64; 3];
+    let mut hi = [0.0f64; 3];
+    for a in 0..3 {
+        // Anything from a sliver to the whole axis, sometimes poking
+        // outside the domain so boundary handling gets exercised too.
+        let x0 = g.f64_in(domain.lo[a] - 0.1 * e[a], domain.hi[a]);
+        let x1 = g.f64_in(x0, domain.hi[a] + 0.1 * e[a]);
+        lo[a] = x0;
+        hi[a] = x1;
+    }
+    Aabb3::new(lo, hi)
+}
+
+fn assert_index_matches_oracle(meta: &SpatialMetadata, workload: &str) {
+    let index = SpatialIndex::build(meta);
+    assert_eq!(index.len(), meta.entries.len());
+    cases(128, |g| {
+        let q = random_query(g, &meta.domain);
+        let got = index.query(&q);
+        let want = meta.files_intersecting(&q);
+        assert_eq!(got, want, "{workload}: selection diverged for {q:?}");
+    });
+    // Degenerate queries: empty box, whole domain, single point.
+    let empty = Aabb3::new([0.5; 3], [0.5; 3]);
+    assert_eq!(index.query(&empty), meta.files_intersecting(&empty));
+    assert_eq!(
+        index.query(&meta.domain),
+        (0..meta.entries.len()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn index_matches_linear_oracle_on_uniform_writes() {
+    let meta = write_dataset(|d, rank| uniform_patch_particles(d, rank, 300, 7));
+    assert_index_matches_oracle(&meta, "uniform");
+}
+
+#[test]
+fn index_matches_linear_oracle_on_cluster_writes() {
+    let spec = ClusterSpec {
+        total_particles: 6_000,
+        ..ClusterSpec::default()
+    };
+    let meta = write_dataset(move |d, rank| cluster_patch_particles(d, rank, &spec, 11));
+    assert_index_matches_oracle(&meta, "clusters");
+}
+
+#[test]
+fn index_matches_linear_oracle_on_jet_writes() {
+    let spec = JetSpec {
+        total_particles: 6_000,
+        ..JetSpec::default()
+    };
+    let meta = write_dataset(move |d, rank| jet_patch_particles(d, rank, &spec, 13));
+    assert_index_matches_oracle(&meta, "jet");
+}

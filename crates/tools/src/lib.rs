@@ -209,6 +209,131 @@ pub fn query<S: Storage>(
     ))
 }
 
+/// Write a synthetic uniform dataset with `procs` simulated writer ranks
+/// (one data file per rank patch), e.g. to seed CLI smoke tests and the
+/// serve bench with an on-disk dataset.
+pub fn generate_uniform<S: Storage + Clone + 'static>(
+    storage: &S,
+    procs: usize,
+    per_rank: usize,
+    seed: u64,
+) -> Result<String, SpioError> {
+    use spio_comm::{run_threaded_collect, Comm};
+    use spio_core::{SpatialWriter, WriterConfig};
+
+    let procs = procs.max(1);
+    let decomp =
+        DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::near_cubic(procs));
+    let s = storage.clone();
+    run_threaded_collect(procs, move |comm| {
+        let ps = spio_workloads::uniform_patch_particles(&decomp, comm.rank(), per_rank, seed);
+        SpatialWriter::new(
+            decomp.clone(),
+            WriterConfig::new(spio_types::PartitionFactor::new(1, 1, 1)),
+        )
+        .write(&comm, &ps, &s)
+        .unwrap()
+    })?;
+    let reader = DatasetReader::open(storage)?;
+    Ok(format!(
+        "wrote {} particles across {} files\n",
+        reader.meta.total_particles,
+        reader.meta.entries.len()
+    ))
+}
+
+/// Run a box query answered from LOD prefixes: read every intersecting
+/// file's shuffled prefix through `level` (clamped to the dataset's level
+/// count) and filter to the box. Levels are uniform subsamples, so this
+/// trades particle count for I/O — the report shows both.
+pub fn query_lod<S: Storage>(
+    storage: &S,
+    query_box: &Aabb3,
+    level: u32,
+) -> Result<String, SpioError> {
+    let reader = DatasetReader::open(storage)?;
+    let mut cursor = reader.lod_box_cursor(query_box, 1);
+    let levels = cursor.num_levels();
+    if levels == 0 {
+        return Ok("no files intersect the query box\n".to_string());
+    }
+    let capped = level.min(levels - 1);
+    let files = reader.meta.files_intersecting(query_box).len();
+    let (loaded, stats) = cursor.read_through_level(storage, capped)?;
+    let matched = loaded
+        .iter()
+        .filter(|p| query_box.contains(p.position))
+        .count();
+    // The cursor issues one incremental range read per file per level, so
+    // the op count exceeds the file count past level 0.
+    Ok(format!(
+        "lod level {capped} of {levels}{}\n\
+         matched {matched} of {} particles (prefix holds {})\n\
+         file reads: {} across {} of {} files\nbytes read: {}\n",
+        if capped != level { " (clamped)" } else { "" },
+        reader.meta.total_particles,
+        loaded.len(),
+        stats.files_opened,
+        files,
+        reader.meta.entries.len(),
+        stats.bytes_read,
+    ))
+}
+
+/// Replay a seeded multi-client query workload through a traced
+/// [`spio_serve::QueryEngine`] and render the serving job report: query
+/// latency percentiles, cache hit/miss/eviction counters, and per-file
+/// degradation faults.
+pub fn serve_bench<S: Storage + Clone + 'static>(
+    storage: &S,
+    clients: usize,
+    spec: &spio_serve::WorkloadSpec,
+    config: spio_serve::ServeConfig,
+) -> Result<(String, spio_trace::JobReport), SpioError> {
+    let trace = spio_trace::Trace::collecting();
+    let engine = spio_serve::QueryEngine::open_traced(storage.clone(), config, trace.clone())?;
+    let clients = clients.max(1);
+    let mut served = vec![(0usize, 0usize); clients];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let (engine, meta) = (&engine, engine.meta());
+                scope.spawn(move || {
+                    let (mut ok, mut partial) = (0usize, 0usize);
+                    for q in spio_serve::client_queries(meta, spec, client) {
+                        if engine.execute_as(client, &q).is_complete() {
+                            ok += 1;
+                        } else {
+                            partial += 1;
+                        }
+                    }
+                    (ok, partial)
+                })
+            })
+            .collect();
+        for (client, h) in handles.into_iter().enumerate() {
+            served[client] = h.join().expect("client thread");
+        }
+    });
+    let cache = engine.cache_stats();
+    let report = spio_trace::JobReport::from_snapshot(clients, &trace.snapshot())
+        .with_metrics(&trace.metrics());
+    let mut out = format!(
+        "served {} queries from {} clients ({} partial)\n\
+         cache: {} hits / {} misses / {} evictions, {} bytes in {} blocks\n\n",
+        served.iter().map(|(ok, p)| ok + p).sum::<usize>(),
+        clients,
+        served.iter().map(|(_, p)| p).sum::<usize>(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.bytes,
+        cache.blocks,
+    );
+    out.push_str(&report.render());
+    Ok((out, report))
+}
+
 /// Describe how a progressive LOD read with `nreaders` would unfold.
 pub fn lod_stats<S: Storage>(storage: &S, nreaders: usize) -> Result<String, SpioError> {
     let reader = DatasetReader::open(storage)?;
@@ -459,6 +584,42 @@ mod tests {
         let text = query(&s, &Aabb3::new([0.0; 3], [0.5, 1.0, 1.0]), None).unwrap();
         assert!(text.contains("matched 200 of 400"), "{text}");
         assert!(text.contains("files opened: 1 of 2"), "{text}");
+    }
+
+    #[test]
+    fn query_lod_answers_from_prefixes() {
+        let s = sample_dataset();
+        let q = Aabb3::new([0.0; 3], [0.5, 1.0, 1.0]);
+        // Level 0 reads only the intersecting file's share of the P=32
+        // global prefix: 32 * (200/400) = 16 particles.
+        let text = query_lod(&s, &q, 0).unwrap();
+        assert!(text.contains("lod level 0"), "{text}");
+        assert!(text.contains("prefix holds 16"), "{text}");
+        assert!(text.contains("file reads: 1 across 1 of 2 files"), "{text}");
+        // A too-deep level clamps to the last and recovers every particle.
+        let text = query_lod(&s, &q, 99).unwrap();
+        assert!(text.contains("(clamped)"), "{text}");
+        assert!(text.contains("matched 200"), "{text}");
+    }
+
+    #[test]
+    fn serve_bench_replays_and_reports() {
+        let s = sample_dataset();
+        let spec = spio_serve::WorkloadSpec {
+            queries_per_client: 8,
+            ..Default::default()
+        };
+        let (text, report) = serve_bench(&s, 2, &spec, spio_serve::ServeConfig::default()).unwrap();
+        assert!(text.contains("served 16 queries from 2 clients"), "{text}");
+        assert!(text.contains("(0 partial)"), "{text}");
+        assert!(text.contains("serve.query.count"), "{text}");
+        assert!(report.op_latency("serve.query").is_some());
+        assert!(
+            report
+                .metric(spio_serve::cache::metric_names::HITS)
+                .is_some(),
+            "cache counters in the report"
+        );
     }
 
     #[test]

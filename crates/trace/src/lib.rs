@@ -40,7 +40,8 @@ mod timeline;
 pub use chrome::{chrome_trace, validate_chrome_trace};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, HISTOGRAM_BUCKETS};
 pub use report::{
-    AggBytes, CommEntry, FaultTotal, ImbalanceRow, JobReport, OpLatency, PhaseTotal, StorageTotal,
+    AggBytes, CommEntry, FaultTotal, ImbalanceRow, JobReport, MetricRow, OpLatency, PhaseTotal,
+    StorageTotal,
 };
 pub use shard::{TraceSnapshot, SHARD_COUNT};
 pub use timeline::{ScopedSpan, Span, Timeline};

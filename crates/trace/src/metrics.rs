@@ -189,6 +189,47 @@ impl Metrics {
         }
         out
     }
+
+    /// Flatten every instrument into [`crate::report::MetricRow`]s, sorted
+    /// by name — the shape [`crate::JobReport::with_metrics`] embeds.
+    pub(crate) fn export_rows(&self) -> Vec<crate::report::MetricRow> {
+        use crate::report::MetricRow;
+        let Some(r) = &self.inner else {
+            return Vec::new();
+        };
+        r.instruments
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, inst)| match inst {
+                Instrument::Counter(c) => MetricRow {
+                    name: name.to_string(),
+                    kind: "counter".into(),
+                    value: c.load(Ordering::Relaxed) as i64,
+                    ..Default::default()
+                },
+                Instrument::Gauge(g) => MetricRow {
+                    name: name.to_string(),
+                    kind: "gauge".into(),
+                    value: g.load(Ordering::Relaxed),
+                    ..Default::default()
+                },
+                Instrument::Histogram(h) => {
+                    let s = h.snapshot();
+                    MetricRow {
+                        name: name.to_string(),
+                        kind: "histogram".into(),
+                        value: s.sum as i64,
+                        count: s.count,
+                        p50: s.percentile(0.50),
+                        p95: s.percentile(0.95),
+                        p99: s.percentile(0.99),
+                        max: s.max,
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 /// Monotonic counter handle. Inert when obtained from a disabled registry.

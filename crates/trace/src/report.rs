@@ -97,6 +97,23 @@ pub struct FaultTotal {
     pub organic: u64,
 }
 
+/// One registry instrument flattened into a report row. Counters and
+/// gauges carry `value`; histograms carry `value` (the sum) plus count and
+/// percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricRow {
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter total, gauge level, or histogram sum.
+    pub value: i64,
+    pub count: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
 /// Everything a traced job produced, merged and ready to serialize.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobReport {
@@ -113,6 +130,9 @@ pub struct JobReport {
     pub imbalance: Vec<ImbalanceRow>,
     /// Bytes written per rank (write ops only), sorted by rank.
     pub agg_bytes: Vec<AggBytes>,
+    /// Registry instruments captured at report time (see
+    /// [`JobReport::with_metrics`]); empty when the job carried none.
+    pub metrics: Vec<MetricRow>,
 }
 
 impl JobReport {
@@ -282,6 +302,19 @@ impl JobReport {
             .into_iter()
             .map(|(rank, bytes)| AggBytes { rank, bytes })
             .collect()
+    }
+
+    /// Embed a snapshot of a metrics registry (cache hit rates, in-flight
+    /// gauges, latency histograms) so `spio report` shows them alongside
+    /// the event-derived tables.
+    pub fn with_metrics(mut self, metrics: &crate::Metrics) -> Self {
+        self.metrics = metrics.export_rows();
+        self
+    }
+
+    /// The embedded registry row named `name`, if any.
+    pub fn metric(&self, name: &str) -> Option<&MetricRow> {
+        self.metrics.iter().find(|m| m.name == name)
     }
 
     /// Resolve a storage record's file id to its name.
@@ -471,6 +504,22 @@ impl JobReport {
                 ])
             })
             .collect();
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&m.name)),
+                    ("kind".into(), Json::str(&m.kind)),
+                    ("value".into(), Json::Num(m.value as f64)),
+                    ("count".into(), Json::u64(m.count)),
+                    ("p50".into(), Json::u64(m.p50)),
+                    ("p95".into(), Json::u64(m.p95)),
+                    ("p99".into(), Json::u64(m.p99)),
+                    ("max".into(), Json::u64(m.max)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("format".into(), Json::str("spio-job-report")),
             ("version".into(), Json::u64(2)),
@@ -486,6 +535,7 @@ impl JobReport {
             ("op_latency".into(), Json::Arr(op_latency)),
             ("imbalance".into(), Json::Arr(imbalance)),
             ("agg_bytes".into(), Json::Arr(agg_bytes)),
+            ("metrics".into(), Json::Arr(metrics)),
         ])
         .to_string()
     }
@@ -593,6 +643,22 @@ impl JobReport {
             report.agg_bytes.push(AggBytes {
                 rank: field(a, "rank")? as usize,
                 bytes: field(a, "bytes")?,
+            });
+        }
+        // Optional in both versions: reports without a registry omit it.
+        for m in opt_arr("metrics") {
+            report.metrics.push(MetricRow {
+                name: text_field(m, "name")?,
+                kind: text_field(m, "kind")?,
+                value: m
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing numeric field 'value'")? as i64,
+                count: field(m, "count")?,
+                p50: field(m, "p50")?,
+                p95: field(m, "p95")?,
+                p99: field(m, "p99")?,
+                max: field(m, "max")?,
             });
         }
         if version == 1 {
@@ -733,6 +799,23 @@ impl JobReport {
                     1.0
                 },
             ));
+        }
+
+        if !self.metrics.is_empty() {
+            out.push_str("\nmetrics registry:\n");
+            out.push_str(
+                "  name                          kind          value    count      p50      p95      p99      max\n",
+            );
+            for m in &self.metrics {
+                if m.kind == "histogram" {
+                    out.push_str(&format!(
+                        "  {:<28}  {:<9} {:>9}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}\n",
+                        m.name, m.kind, m.value, m.count, m.p50, m.p95, m.p99, m.max
+                    ));
+                } else {
+                    out.push_str(&format!("  {:<28}  {:<9} {:>9}\n", m.name, m.kind, m.value));
+                }
+            }
         }
 
         if !self.faults.is_empty() {
@@ -896,6 +979,32 @@ mod tests {
         let text = r.to_json();
         let back = JobReport::from_json(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn metrics_embed_roundtrip_and_render() {
+        let t = Trace::collecting();
+        let m = t.metrics();
+        m.counter("serve.cache.hits").add(7);
+        m.gauge("serve.inflight").set(-2); // signed survives the roundtrip
+        let h = m.histogram("serve.query.latency_us");
+        h.record(10);
+        h.record(1000);
+        let r = JobReport::from_snapshot(1, &t.snapshot()).with_metrics(&m);
+        assert_eq!(r.metric("serve.cache.hits").unwrap().value, 7);
+        assert_eq!(r.metric("serve.inflight").unwrap().value, -2);
+        let lat = r.metric("serve.query.latency_us").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max, 1000);
+        assert!(lat.p50 <= lat.p99 && lat.p99 <= lat.max);
+        let back = JobReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let text = r.render();
+        assert!(text.contains("metrics registry"));
+        assert!(text.contains("serve.cache.hits"));
+        assert!(text.contains("serve.query.latency_us"));
+        // Reports without metrics skip the section entirely.
+        assert!(!sample_report().render().contains("metrics registry"));
     }
 
     #[test]
