@@ -52,4 +52,29 @@ echo "ci: observability pipeline OK"
   --baseline "$OBS_DIR/read.json"
 echo "ci: read-serving pipeline OK"
 
+# Verification gates (see docs/VERIFICATION.md):
+# 1. `spio lint` — source-tree rule scan against the committed lint.ratchet
+#    baseline; counts may only decrease (exit 1 on any increase).
+# 2. The schedule-explorer suite — every collective schedule-invariant
+#    across seeded interleavings, every known-bad comm fixture diagnosed.
+# 3. `spio verify-comm` — the same checks through the CLI surface, wider
+#    seed sweep.
+"$SPIO" lint
+cargo test -q -p spio-verify --test schedule_explorer
+"$SPIO" verify-comm --procs 4 --seeds 16 > /dev/null
+echo "ci: verification gates OK"
+
+# Optional ThreadSanitizer pass over the comm runtime. TSan needs a nightly
+# toolchain with -Zsanitizer support; skip gracefully when absent so the
+# gate stays runnable on stable.
+if rustc --version | grep -q nightly && \
+   rustc -Zhelp 2>/dev/null | grep -q "sanitizer"; then
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo test -q -p spio-comm --target "$(rustc -vV | sed -n 's/host: //p')" \
+    || { echo "ci: tsan FAILED"; exit 1; }
+  echo "ci: tsan OK"
+else
+  echo "ci: tsan skipped (stable toolchain, -Zsanitizer unavailable)"
+fi
+
 echo "ci: all checks passed"

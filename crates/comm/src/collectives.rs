@@ -4,22 +4,21 @@
 //! communicator's collective sequence counter, so back-to-back collectives
 //! of the same kind cannot cross-match even when ranks are skewed in time.
 
-use crate::thread_comm::ThreadComm;
-use crate::{Comm, Tag};
+use crate::{CollectiveComm, Tag};
 use spio_types::Rank;
 
 /// Collective-internal receive. A failed receive here (deadlock timeout)
 /// means the collective schedule itself is broken; panicking is correct —
 /// the job runtime converts rank panics into `SpioError::Comm` after
 /// joining all ranks.
-fn recv_or_die(comm: &ThreadComm, src: Rank, tag: Tag) -> Vec<u8> {
+fn recv_or_die<C: CollectiveComm + ?Sized>(comm: &C, src: Rank, tag: Tag) -> Vec<u8> {
     comm.recv(src, tag)
         .unwrap_or_else(|e| panic!("collective receive failed: {e}"))
 }
 
 /// Dissemination barrier: `ceil(log2 n)` rounds, rank `r` signals
 /// `(r + 2^k) mod n` and waits for `(r - 2^k) mod n`.
-pub fn dissemination_barrier(comm: &ThreadComm) {
+pub fn dissemination_barrier<C: CollectiveComm + ?Sized>(comm: &C) {
     let n = comm.size();
     if n == 1 {
         return;
@@ -41,7 +40,7 @@ pub fn dissemination_barrier(comm: &ThreadComm) {
 /// Ring allgather: `n - 1` steps, each rank forwards the newest block to its
 /// right neighbour. Variable block sizes are naturally supported because
 /// every block travels as its own message.
-pub fn ring_allgather(comm: &ThreadComm, data: &[u8]) -> Vec<Vec<u8>> {
+pub fn ring_allgather<C: CollectiveComm + ?Sized>(comm: &C, data: &[u8]) -> Vec<Vec<u8>> {
     let n = comm.size();
     let me = comm.rank();
     let mut blocks: Vec<Option<Vec<u8>>> = vec![None; n];
@@ -69,7 +68,10 @@ pub fn ring_allgather(comm: &ThreadComm, data: &[u8]) -> Vec<Vec<u8>> {
 /// Direct (pairwise) variable-size all-to-all. Every rank posts all sends,
 /// then receives one message from every peer. Self-delivery bypasses the
 /// mailbox.
-pub fn direct_alltoall(comm: &ThreadComm, mut sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+pub fn direct_alltoall<C: CollectiveComm + ?Sized>(
+    comm: &C,
+    mut sends: Vec<Vec<u8>>,
+) -> Vec<Vec<u8>> {
     let n = comm.size();
     assert_eq!(
         sends.len(),
@@ -97,7 +99,11 @@ pub fn direct_alltoall(comm: &ThreadComm, mut sends: Vec<Vec<u8>>) -> Vec<Vec<u8
 
 /// Gather onto `root`; linear receive at the root (fine for the rank counts
 /// the thread runtime targets; the simulator models tree gathers at scale).
-pub fn gather_to(comm: &ThreadComm, root: Rank, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+pub fn gather_to<C: CollectiveComm + ?Sized>(
+    comm: &C,
+    root: Rank,
+    data: &[u8],
+) -> Option<Vec<Vec<u8>>> {
     let n = comm.size();
     let me = comm.rank();
     let tag = comm.next_collective_tag();
@@ -117,7 +123,11 @@ pub fn gather_to(comm: &ThreadComm, root: Rank, data: &[u8]) -> Option<Vec<Vec<u
 }
 
 /// Binomial-tree broadcast rooted at `root`.
-pub fn binomial_broadcast(comm: &ThreadComm, root: Rank, data: Vec<u8>) -> Vec<u8> {
+pub fn binomial_broadcast<C: CollectiveComm + ?Sized>(
+    comm: &C,
+    root: Rank,
+    data: Vec<u8>,
+) -> Vec<u8> {
     let n = comm.size();
     let me = comm.rank();
     let tag = comm.next_collective_tag();
@@ -149,8 +159,8 @@ pub fn binomial_broadcast(comm: &ThreadComm, root: Rank, data: Vec<u8>) -> Vec<u
 
 /// Binomial-tree reduction to `root` of `u64` values with operator `op`;
 /// returns `Some(result)` on the root.
-pub fn tree_reduce_u64(
-    comm: &ThreadComm,
+pub fn tree_reduce_u64<C: CollectiveComm + ?Sized>(
+    comm: &C,
     root: Rank,
     value: u64,
     op: fn(u64, u64) -> u64,
@@ -186,7 +196,11 @@ pub fn tree_reduce_u64(
 }
 
 /// All-reduce of `u64` values: reduce to rank 0, then broadcast.
-pub fn allreduce_u64(comm: &ThreadComm, value: u64, op: fn(u64, u64) -> u64) -> u64 {
+pub fn allreduce_u64<C: CollectiveComm + ?Sized>(
+    comm: &C,
+    value: u64,
+    op: fn(u64, u64) -> u64,
+) -> u64 {
     let reduced = tree_reduce_u64(comm, 0, value, op);
     let payload = reduced
         .map(|v| v.to_le_bytes().to_vec())
@@ -198,7 +212,7 @@ pub fn allreduce_u64(comm: &ThreadComm, value: u64, op: fn(u64, u64) -> u64) -> 
 /// Exclusive prefix sum of `u64` values (rank 0 gets 0) — the offset
 /// computation collective shared-file writers use to place their segments.
 /// Implemented as a dissemination scan: log2(n) rounds.
-pub fn exclusive_scan_u64(comm: &ThreadComm, value: u64) -> u64 {
+pub fn exclusive_scan_u64<C: CollectiveComm + ?Sized>(comm: &C, value: u64) -> u64 {
     let n = comm.size();
     let me = comm.rank();
     if n == 1 {

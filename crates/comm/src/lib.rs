@@ -29,6 +29,7 @@ pub use thread_comm::ThreadComm;
 pub use traced::TracedComm;
 
 use spio_types::{Rank, SpioError};
+use std::time::Duration;
 
 /// Message tag. User code may use any value below [`COLLECTIVE_TAG_BASE`];
 /// the collective implementations reserve the upper tag space.
@@ -42,33 +43,88 @@ pub const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
 /// The thread-backed implementation buffers eagerly, so sends complete
 /// immediately; the handle exists so algorithm code keeps the MPI structure
 /// (post all sends, post all receives, then wait) that a real MPI port would
-/// need.
+/// need. Wrappers ([`TracedComm`], `spio-verify`'s `CheckedComm`) attach a
+/// completion observer via [`SendHandle::from_fn`].
 #[must_use = "a send is only guaranteed complete after wait()"]
-pub struct SendHandle(());
+pub struct SendHandle {
+    on_wait: Option<Box<dyn FnOnce() + Send>>,
+}
 
 impl SendHandle {
     pub(crate) fn completed() -> Self {
-        SendHandle(())
+        SendHandle { on_wait: None }
+    }
+
+    /// A handle that runs `f` when waited. Wrapper communicators use this
+    /// to observe completion (and, at finalize, to report handles that were
+    /// never waited).
+    pub fn from_fn(f: impl FnOnce() + Send + 'static) -> Self {
+        SendHandle {
+            on_wait: Some(Box::new(f)),
+        }
     }
 
     /// Block until the send buffer may be reused. (Immediate for
     /// [`ThreadComm`].)
-    pub fn wait(self) {}
+    pub fn wait(mut self) {
+        if let Some(f) = self.on_wait.take() {
+            f();
+        }
+    }
 }
 
 /// Completion handle for a non-blocking receive posted with [`Comm::irecv`].
+///
+/// Dropping an unwaited handle runs its cleanup hook (if any), which the
+/// thread-backed communicator uses to release the mailbox reservation the
+/// posted receive made — a dropped wild receive must not leave state behind.
 pub struct RecvHandle {
-    pub(crate) wait_fn: Box<dyn FnOnce() -> Result<Vec<u8>, SpioError> + Send>,
+    wait_fn: Option<RecvWaitFn>,
+    cleanup: Option<Box<dyn FnOnce() + Send>>,
 }
 
+/// Boxed completion closure for [`RecvHandle`]: blocks, then yields the
+/// received payload (or the timeout/teardown error).
+type RecvWaitFn = Box<dyn FnOnce() -> Result<Vec<u8>, SpioError> + Send>;
+
 impl RecvHandle {
+    /// A handle whose [`RecvHandle::wait`] runs `f`.
+    pub fn from_fn(f: impl FnOnce() -> Result<Vec<u8>, SpioError> + Send + 'static) -> Self {
+        RecvHandle {
+            wait_fn: Some(Box::new(f)),
+            cleanup: None,
+        }
+    }
+
+    /// Attach a hook that runs if the handle is dropped without being
+    /// waited. The wait path is expected to perform its own teardown, so a
+    /// completed wait disarms the hook.
+    pub fn on_unwaited_drop(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.cleanup = Some(Box::new(f));
+        self
+    }
+
     /// Block until the matching message arrives and return its payload.
     ///
     /// Returns [`SpioError::Comm`] if the receive times out (deadlocked
     /// communication schedule) instead of panicking, so callers can unwind
     /// their collective participation cleanly.
-    pub fn wait(self) -> Result<Vec<u8>, SpioError> {
-        (self.wait_fn)()
+    pub fn wait(mut self) -> Result<Vec<u8>, SpioError> {
+        self.cleanup.take();
+        match self.wait_fn.take() {
+            Some(f) => f(),
+            None => Err(SpioError::Comm("receive handle already consumed".into())),
+        }
+    }
+}
+
+impl Drop for RecvHandle {
+    fn drop(&mut self) {
+        if self.wait_fn.is_some() {
+            if let Some(f) = self.cleanup.take() {
+                f();
+            }
+        }
     }
 }
 
@@ -118,4 +174,34 @@ pub trait Comm {
 
     /// Broadcast `data` (significant only on `root`) to all ranks.
     fn broadcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8>;
+
+    /// Blocking receive that gives up after `timeout` with
+    /// [`SpioError::Comm`]. Backends without fine-grained timers may ignore
+    /// `timeout` and use their default stall detection.
+    fn recv_timeout(&self, src: Rank, tag: Tag, timeout: Duration) -> Result<Vec<u8>, SpioError> {
+        let _ = timeout;
+        self.recv(src, tag)
+    }
+
+    /// Messages delivered to this rank's mailbox but never received, as
+    /// `(src, tag, byte_len)` triples. Used by leak detection at finalize;
+    /// backends without introspection report nothing.
+    fn unconsumed(&self) -> Vec<(Rank, Tag, usize)> {
+        Vec::new()
+    }
+}
+
+/// Communicators the generic collective algorithms in [`collectives`] can
+/// run over.
+///
+/// The algorithms derive their internal message tags from
+/// [`CollectiveComm::next_collective_tag`], which must return a fresh block
+/// of 8 tags at or above [`COLLECTIVE_TAG_BASE`] and advance identically on
+/// every rank — guaranteed when all ranks enter collectives in the same
+/// order, which is exactly the invariant `spio-verify`'s `CheckedComm`
+/// cross-checks at runtime.
+pub trait CollectiveComm: Comm {
+    /// Reserve and return the base tag for the next collective's internal
+    /// messages (the collective may use `tag..tag + 8`).
+    fn next_collective_tag(&self) -> Tag;
 }

@@ -23,6 +23,7 @@ where
     T: Send + 'static,
 {
     let world = ThreadComm::create_world(nprocs);
+    let shared = world[0].shared_handle();
     let f = std::sync::Arc::new(f);
     let handles: Vec<_> = world
         .into_iter()
@@ -59,6 +60,24 @@ where
     }
     if let Some((rank, msg)) = first_panic {
         return Err(SpioError::Comm(format!("rank {rank} panicked: {msg}")));
+    }
+    // All ranks returned cleanly — every message sent must have been
+    // received. Anything still queued is a leak: an isend whose matching
+    // recv never ran, exactly the bug class MPI_Finalize flags on a real
+    // machine.
+    let mut leaks = Vec::new();
+    for (rank, mailbox) in shared.mailboxes.iter().enumerate() {
+        for (src, tag, bytes) in mailbox.leftovers() {
+            leaks.push(format!(
+                "rank {rank}: unreceived message from rank {src} tag {tag:#x} ({bytes} bytes)"
+            ));
+        }
+    }
+    if !leaks.is_empty() {
+        return Err(SpioError::Comm(format!(
+            "message leak at finalize: {}",
+            leaks.join("; ")
+        )));
     }
     Ok(results)
 }

@@ -2,10 +2,11 @@
 
 use crate::collectives;
 use crate::mailbox::Mailbox;
-use crate::{Comm, RecvHandle, SendHandle, Tag, COLLECTIVE_TAG_BASE};
-use spio_types::Rank;
+use crate::{CollectiveComm, Comm, RecvHandle, SendHandle, Tag, COLLECTIVE_TAG_BASE};
+use spio_types::{Rank, SpioError};
 use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// State shared by every rank of one job.
 pub(crate) struct Shared {
@@ -42,12 +43,8 @@ impl ThreadComm {
             .collect()
     }
 
-    pub(crate) fn next_collective_tag(&self) -> Tag {
-        let seq = self.coll_seq.get();
-        self.coll_seq.set(seq.wrapping_add(1));
-        // Collectives may need a few distinct tags per invocation; stride by
-        // 8 within the reserved space.
-        COLLECTIVE_TAG_BASE + (seq % 0x0fff_ffff) * 8
+    pub(crate) fn shared_handle(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     fn check_peer(&self, peer: Rank) {
@@ -79,10 +76,15 @@ impl Comm for ThreadComm {
     fn irecv(&self, src: Rank, tag: Tag) -> RecvHandle {
         self.check_peer(src);
         let mailbox = Arc::clone(&self.shared.mailboxes[self.rank]);
+        mailbox.reserve(src, tag);
         let me = self.rank;
-        RecvHandle {
-            wait_fn: Box::new(move || mailbox.pop_blocking(me, src, tag)),
-        }
+        let cleanup_mb = Arc::clone(&mailbox);
+        RecvHandle::from_fn(move || {
+            let got = mailbox.pop_blocking(me, src, tag);
+            mailbox.unreserve(src, tag);
+            got
+        })
+        .on_unwaited_drop(move || cleanup_mb.unreserve(src, tag))
     }
 
     fn barrier(&self) {
@@ -103,6 +105,25 @@ impl Comm for ThreadComm {
 
     fn broadcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8> {
         collectives::binomial_broadcast(self, root, data)
+    }
+
+    fn recv_timeout(&self, src: Rank, tag: Tag, timeout: Duration) -> Result<Vec<u8>, SpioError> {
+        self.check_peer(src);
+        self.shared.mailboxes[self.rank].pop_blocking_timeout(self.rank, src, tag, timeout)
+    }
+
+    fn unconsumed(&self) -> Vec<(Rank, Tag, usize)> {
+        self.shared.mailboxes[self.rank].leftovers()
+    }
+}
+
+impl CollectiveComm for ThreadComm {
+    fn next_collective_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        // Collectives may need a few distinct tags per invocation; stride by
+        // 8 within the reserved space.
+        COLLECTIVE_TAG_BASE + (seq % 0x0fff_ffff) * 8
     }
 }
 

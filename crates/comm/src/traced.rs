@@ -13,9 +13,10 @@
 //! with whom" for the paper's §3.3 aggregation exchange, which runs entirely
 //! on user tags (`TAG_META`, `TAG_DATA`).
 
-use crate::{Comm, RecvHandle, SendHandle, Tag};
+use crate::{CollectiveComm, Comm, RecvHandle, SendHandle, Tag};
 use spio_trace::{Counter, Dir, Histogram, Trace};
-use spio_types::Rank;
+use spio_types::{Rank, SpioError};
+use std::time::Duration;
 
 /// A communicator that mirrors every point-to-point message into a
 /// [`Trace`]. With a disabled trace ([`Trace::off`]) every operation is a
@@ -93,16 +94,14 @@ impl<C: Comm> Comm for TracedComm<C> {
         let recv_msgs = self.recv_msgs.clone();
         let recv_bytes = self.recv_bytes.clone();
         let me = self.inner.rank();
-        RecvHandle {
-            wait_fn: Box::new(move || {
-                let data = handle.wait()?;
-                let bytes = data.len() as u64;
-                trace.message(src, me, tag, bytes, Dir::Received);
-                recv_msgs.inc();
-                recv_bytes.add(bytes);
-                Ok(data)
-            }),
-        }
+        RecvHandle::from_fn(move || {
+            let data = handle.wait()?;
+            let bytes = data.len() as u64;
+            trace.message(src, me, tag, bytes, Dir::Received);
+            recv_msgs.inc();
+            recv_bytes.add(bytes);
+            Ok(data)
+        })
     }
 
     fn barrier(&self) {
@@ -123,6 +122,28 @@ impl<C: Comm> Comm for TracedComm<C> {
 
     fn broadcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8> {
         self.inner.broadcast(root, data)
+    }
+
+    fn recv_timeout(&self, src: Rank, tag: Tag, timeout: Duration) -> Result<Vec<u8>, SpioError> {
+        let data = self.inner.recv_timeout(src, tag, timeout)?;
+        if self.trace.is_enabled() {
+            let bytes = data.len() as u64;
+            self.trace
+                .message(src, self.inner.rank(), tag, bytes, Dir::Received);
+            self.recv_msgs.inc();
+            self.recv_bytes.add(bytes);
+        }
+        Ok(data)
+    }
+
+    fn unconsumed(&self) -> Vec<(Rank, Tag, usize)> {
+        self.inner.unconsumed()
+    }
+}
+
+impl<C: CollectiveComm> CollectiveComm for TracedComm<C> {
+    fn next_collective_tag(&self) -> Tag {
+        self.inner.next_collective_tag()
     }
 }
 

@@ -15,6 +15,7 @@
 
 use spio_trace::{Counter, Gauge, Metrics};
 use spio_types::{Particle, PARTICLE_BYTES};
+use spio_util::lock_unpoisoned;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
@@ -120,7 +121,7 @@ impl BlockCache {
 
     /// Look up a block, bumping its recency on hit.
     pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<Particle>>> {
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = lock_unpoisoned(self.shard_of(key));
         if shard.map.contains_key(key) {
             shard.touch(*key);
             self.hits.inc();
@@ -141,7 +142,7 @@ impl BlockCache {
             return;
         }
         let mut delta = cost as i64;
-        let mut shard = self.shard_of(&key).lock().unwrap();
+        let mut shard = lock_unpoisoned(self.shard_of(&key));
         if let Some(old) = shard.map.remove(&key) {
             // Racing loads of the same block: keep the newcomer.
             shard.lru.remove(&old.stamp);
@@ -166,14 +167,14 @@ impl BlockCache {
 
     /// Current decoded payload bytes held across all shards.
     pub fn total_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).bytes).sum()
     }
 
     /// Aggregate statistics (see [`CacheStats`] for provenance).
     pub fn stats(&self) -> CacheStats {
         let (mut bytes, mut blocks) = (0u64, 0u64);
         for s in &self.shards {
-            let s = s.lock().unwrap();
+            let s = lock_unpoisoned(s);
             bytes += s.bytes;
             blocks += s.map.len() as u64;
         }

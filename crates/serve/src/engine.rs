@@ -323,7 +323,15 @@ impl<S: Storage + 'static> QueryEngine<S> {
         // Ascending file order — the same order the serial reader appends
         // in, which is what makes complete results byte-identical.
         for (slot, result) in slots.into_iter().enumerate() {
-            match result.expect("every file job reports exactly once") {
+            // An empty slot means the worker died mid-job (the panic was
+            // contained by the pool and the result channel dropped without
+            // sending). Degrade that one file, not the whole query.
+            let outcome = result.unwrap_or_else(|| {
+                Err(SpioError::Io(std::io::Error::other(
+                    "file job panicked before reporting a result",
+                )))
+            });
+            match outcome {
                 Ok(fs) => {
                     particles.extend(fs.kept);
                     stats.bytes_read += fs.bytes_read;

@@ -39,6 +39,8 @@ fn usage() -> ExitCode {
          [--report-out F]\n  \
          spio series   <dir>\n  \
          spio render   <dir> <out.ppm>\n  \
+         spio lint     [root] [--update]\n  \
+         spio verify-comm [--procs N] [--seeds K]\n  \
          spio convert-fpp <src-dir> <nwriters> <dst-dir> <PxxPyxPz> <x0> <y0> <z0> <x1> <y1> <z1>"
     );
     ExitCode::from(2)
@@ -345,6 +347,45 @@ fn main() -> ExitCode {
         }
         ("bench", rest) => bench_cmd(rest),
         ("serve-bench", [dir, rest @ ..]) => serve_bench_cmd(dir, rest),
+        ("lint", rest) => {
+            let update = rest.iter().any(|a| a == "--update");
+            let roots: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+            let root = match roots.as_slice() {
+                [] => ".",
+                [r] => r.as_str(),
+                _ => return usage(),
+            };
+            spio_tools::lint_ratchet(root, update).map(|(text, ok)| {
+                print!("{text}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            })
+        }
+        ("verify-comm", rest) => {
+            let mut procs = 4usize;
+            let mut seeds = 16u64;
+            let mut i = 0;
+            let mut bad = false;
+            while i < rest.len() {
+                match (
+                    rest[i].as_str(),
+                    rest.get(i + 1).and_then(|v| v.parse::<u64>().ok()),
+                ) {
+                    ("--procs", Some(n)) => procs = n as usize,
+                    ("--seeds", Some(n)) => seeds = n,
+                    _ => {
+                        bad = true;
+                        break;
+                    }
+                }
+                i += 2;
+            }
+            if bad {
+                return usage();
+            }
+            spio_tools::verify_comm(procs, seeds).map(|t| print!("{t}"))
+        }
         ("series", [dir]) => spio_tools::series_info(&open_dir(dir)).map(|t| print!("{t}")),
         ("render", [dir, out]) => spio_tools::render_ppm(&open_dir(dir), 640, 640)
             .and_then(|img| std::fs::write(out, img).map_err(Into::into))

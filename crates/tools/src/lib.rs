@@ -225,15 +225,18 @@ pub fn generate_uniform<S: Storage + Clone + 'static>(
     let decomp =
         DomainDecomposition::uniform(Aabb3::new([0.0; 3], [1.0; 3]), GridDims::near_cubic(procs));
     let s = storage.clone();
-    run_threaded_collect(procs, move |comm| {
+    for rank_result in run_threaded_collect(procs, move |comm| {
         let ps = spio_workloads::uniform_patch_particles(&decomp, comm.rank(), per_rank, seed);
         SpatialWriter::new(
             decomp.clone(),
             WriterConfig::new(spio_types::PartitionFactor::new(1, 1, 1)),
         )
         .write(&comm, &ps, &s)
-        .unwrap()
-    })?;
+        .map(|_| ())
+        .map_err(|e| format!("rank {}: {e}", comm.rank()))
+    })? {
+        rank_result.map_err(SpioError::Config)?;
+    }
     let reader = DatasetReader::open(storage)?;
     Ok(format!(
         "wrote {} particles across {} files\n",
@@ -293,7 +296,8 @@ pub fn serve_bench<S: Storage + Clone + 'static>(
     let trace = spio_trace::Trace::collecting();
     let engine = spio_serve::QueryEngine::open_traced(storage.clone(), config, trace.clone())?;
     let clients = clients.max(1);
-    let mut served = vec![(0usize, 0usize); clients];
+    let mut served: Vec<Result<(usize, usize), SpioError>> =
+        (0..clients).map(|_| Ok((0, 0))).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -312,9 +316,12 @@ pub fn serve_bench<S: Storage + Clone + 'static>(
             })
             .collect();
         for (client, h) in handles.into_iter().enumerate() {
-            served[client] = h.join().expect("client thread");
+            served[client] = h.join().map_err(|_| {
+                SpioError::Comm(format!("serve-bench client {client} thread panicked"))
+            });
         }
     });
+    let served = served.into_iter().collect::<Result<Vec<_>, _>>()?;
     let cache = engine.cache_stats();
     let report = spio_trace::JobReport::from_snapshot(clients, &trace.snapshot())
         .with_metrics(&trace.metrics());
@@ -493,6 +500,208 @@ pub fn report(json: &str) -> Result<String, SpioError> {
 /// Open an `FsStorage` for a CLI path argument.
 pub fn open_dir(path: &str) -> FsStorage {
     FsStorage::new(path)
+}
+
+/// `spio lint`: scan the source tree and gate against the committed
+/// `lint.ratchet` baseline (counts may only decrease). With `update`,
+/// rewrite the baseline to the current counts instead.
+///
+/// Returns the human-readable summary plus `true` when the gate passes.
+pub fn lint_ratchet(root: &str, update: bool) -> Result<(String, bool), SpioError> {
+    use spio_verify::lint::{lint_tree, LintConfig, Ratchet};
+    use std::fmt::Write as _;
+
+    let cfg = LintConfig::new(root);
+    let counts = lint_tree(&cfg)?;
+    let path = cfg.ratchet_path();
+    if update {
+        std::fs::write(&path, Ratchet::from_counts(&counts).render())?;
+        return Ok((
+            format!(
+                "wrote {} ({} findings across {} crate/rule pairs)\n",
+                path.display(),
+                counts.total(),
+                counts.counts.len()
+            ),
+            true,
+        ));
+    }
+    let baseline = Ratchet::load(&path).map_err(|e| {
+        SpioError::Config(format!(
+            "cannot read {}: {e}\nrun `spio lint --update` to create the baseline",
+            path.display()
+        ))
+    })?;
+    let cmp = baseline.compare(&counts);
+    let mut out = format!(
+        "lint: {} findings, baseline tolerates {}\n",
+        counts.total(),
+        baseline.entries.values().sum::<u64>()
+    );
+    for (krate, rule, base, cur) in &cmp.improvements {
+        let _ = writeln!(
+            out,
+            "  improved  {krate}/{rule}: {base} -> {cur} (tighten with `spio lint --update`)"
+        );
+    }
+    for (krate, rule, base, cur) in &cmp.regressions {
+        let _ = writeln!(out, "  REGRESSED {krate}/{rule}: {base} -> {cur}");
+        // The scanner can't know which occurrences are new, so list all
+        // current sites for the regressed pair — the diff will be obvious
+        // against the PR.
+        for f in counts
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule.as_str() && f.file.contains(&format!("{krate}/")))
+        {
+            let _ = writeln!(out, "      {}:{}: {}", f.file, f.line, f.excerpt);
+        }
+    }
+    let ok = cmp.is_ok();
+    let _ = writeln!(
+        out,
+        "lint gate {}",
+        if ok {
+            "PASS"
+        } else {
+            "FAIL (counts may only decrease)"
+        }
+    );
+    Ok((out, ok))
+}
+
+/// `spio verify-comm`: run the MPI-semantics verification suite — every
+/// collective checked for schedule invariance across `seeds` deterministic
+/// interleavings of `procs` ranks, then the known-bad fixture corpus run
+/// under `CheckedComm` over the explorer, asserting each is *diagnosed*
+/// (mismatch diff or structural deadlock), never a hang.
+pub fn verify_comm(procs: usize, seeds: u64) -> Result<String, SpioError> {
+    use spio_comm::collectives::{
+        allreduce_u64, binomial_broadcast, direct_alltoall, dissemination_barrier,
+        exclusive_scan_u64, gather_to, ring_allgather, tree_reduce_u64,
+    };
+    use spio_comm::Comm;
+    use spio_verify::{explore_collect, fixtures, CheckedWorld, ExplorerComm};
+    use std::fmt::Write as _;
+
+    let procs = procs.max(2);
+    let seeds = seeds.max(1);
+    let mut out = String::new();
+    let mut failures = Vec::new();
+
+    // Part 1: schedule invariance. Each collective must produce identical
+    // per-rank results under every seeded interleaving.
+    type CollectiveFn = fn(&ExplorerComm) -> Vec<u8>;
+    let collectives: &[(&str, CollectiveFn)] = &[
+        ("barrier", |c| {
+            dissemination_barrier(c);
+            vec![c.rank() as u8]
+        }),
+        ("allgather", |c| {
+            ring_allgather(c, &[c.rank() as u8]).concat()
+        }),
+        ("alltoall", |c| {
+            let sends = (0..c.size())
+                .map(|d| vec![c.rank() as u8, d as u8])
+                .collect();
+            direct_alltoall(c, sends).concat()
+        }),
+        ("gather", |c| {
+            gather_to(c, 0, &[c.rank() as u8])
+                .map(|v| v.concat())
+                .unwrap_or_default()
+        }),
+        ("broadcast", |c| binomial_broadcast(c, 1, vec![7, 7])),
+        ("reduce", |c| {
+            tree_reduce_u64(c, 0, c.rank() as u64 + 1, u64::wrapping_add)
+                .unwrap_or(0)
+                .to_le_bytes()
+                .to_vec()
+        }),
+        ("allreduce", |c| {
+            allreduce_u64(c, 1 << c.rank(), |a, b| a | b)
+                .to_le_bytes()
+                .to_vec()
+        }),
+        ("scan", |c| {
+            exclusive_scan_u64(c, c.rank() as u64 + 1)
+                .to_le_bytes()
+                .to_vec()
+        }),
+    ];
+    for (name, f) in collectives {
+        let f = *f;
+        let mut reference: Option<Vec<Vec<u8>>> = None;
+        let mut verdict = format!("ok ({seeds} seeds)");
+        for seed in 0..seeds {
+            match explore_collect(procs, seed, move |comm| f(&comm)) {
+                Ok(results) => match &reference {
+                    None => reference = Some(results),
+                    Some(expected) if *expected != results => {
+                        verdict = format!("DIVERGED at seed {seed}");
+                        failures.push(format!("{name}: results depend on the schedule"));
+                        break;
+                    }
+                    Some(_) => {}
+                },
+                Err(e) => {
+                    verdict = format!("FAILED at seed {seed}: {e}");
+                    failures.push(format!("{name}: {e}"));
+                    break;
+                }
+            }
+        }
+        let _ = writeln!(out, "  invariance {name:<10} {verdict}");
+    }
+
+    // Part 2: every known-bad program must be diagnosed, not hung.
+    type FixtureFn = fn(&spio_verify::CheckedComm<ExplorerComm>);
+    let bad: &[(&str, FixtureFn)] = &[
+        ("skipped-barrier", |c| fixtures::skipped_barrier(c)),
+        ("tag-mismatch", |c| fixtures::tag_mismatch(c)),
+        ("recv-without-send", |c| fixtures::recv_without_send(c)),
+        ("root-disagreement", |c| fixtures::root_disagreement(c)),
+        ("unequal-collectives", |c| {
+            fixtures::unequal_collective_counts(c)
+        }),
+    ];
+    // The fixtures panic by design (that's the diagnostic mechanism);
+    // silence the default hook so the run prints verdicts, not five
+    // backtraces. Restored before returning.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (name, f) in bad {
+        let f = *f;
+        let world = CheckedWorld::new(spio_trace::Trace::off())
+            .with_stall_timeout(std::time::Duration::from_millis(200));
+        let outcome = explore_collect(procs, 0, move |comm| {
+            let checked = world.wrap(comm);
+            f(&checked);
+            checked.finalize().map(|_| ()).map_err(|e| e.to_string())
+        });
+        match outcome {
+            Err(e) => {
+                let first = e.to_string();
+                let first = first.lines().next().unwrap_or_default().to_string();
+                let _ = writeln!(out, "  fixture    {name:<20} diagnosed: {first}");
+            }
+            Ok(_) => {
+                failures.push(format!("{name}: known-bad program was NOT diagnosed"));
+                let _ = writeln!(out, "  fixture    {name:<20} NOT DIAGNOSED");
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+
+    if failures.is_empty() {
+        let _ = writeln!(out, "verify-comm PASS ({procs} ranks)");
+        Ok(out)
+    } else {
+        Err(SpioError::Comm(format!(
+            "verify-comm FAIL:\n{out}\n{}",
+            failures.join("\n")
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -727,6 +936,57 @@ mod tests {
         assert!(rendered.contains("write_file"), "{rendered}");
         // Malformed input errors cleanly.
         assert!(super::report("not json").is_err());
+    }
+
+    #[test]
+    fn verify_comm_passes_on_healthy_collectives() {
+        let text = verify_comm(3, 4).unwrap();
+        assert!(text.contains("invariance barrier"), "{text}");
+        assert!(text.contains("invariance scan"), "{text}");
+        assert!(text.contains("fixture    skipped-barrier"), "{text}");
+        assert!(text.contains("diagnosed"), "{text}");
+        assert!(text.contains("verify-comm PASS"), "{text}");
+        assert!(!text.contains("NOT DIAGNOSED"), "{text}");
+    }
+
+    #[test]
+    fn lint_ratchet_gates_and_updates() {
+        let dir = spio_util::tempdir().unwrap();
+        let root = dir.path().to_string_lossy().into_owned();
+        let src = dir.path().join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn f() { x.unwrap(); }\n").unwrap();
+
+        // No baseline yet: the gate refuses and points at --update.
+        let err = lint_ratchet(&root, false).unwrap_err();
+        assert!(err.to_string().contains("--update"), "{err}");
+
+        // --update writes the baseline; the gate then passes.
+        let (msg, ok) = lint_ratchet(&root, true).unwrap();
+        assert!(ok, "{msg}");
+        let (msg, ok) = lint_ratchet(&root, false).unwrap();
+        assert!(ok, "{msg}");
+        assert!(msg.contains("lint gate PASS"), "{msg}");
+
+        // New debt: the ratchet fails and names the site.
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f() { x.unwrap(); y.unwrap(); }\n",
+        )
+        .unwrap();
+        let (msg, ok) = lint_ratchet(&root, false).unwrap();
+        assert!(!ok, "{msg}");
+        assert!(
+            msg.contains("REGRESSED demo/unwrap-expect: 1 -> 2"),
+            "{msg}"
+        );
+        assert!(msg.contains("crates/demo/src/lib.rs:1"), "{msg}");
+
+        // Paying debt down passes (and suggests tightening).
+        std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").unwrap();
+        let (msg, ok) = lint_ratchet(&root, false).unwrap();
+        assert!(ok, "{msg}");
+        assert!(msg.contains("improved"), "{msg}");
     }
 
     #[test]

@@ -120,6 +120,21 @@ pub fn chrome_trace(snapshot: &TraceSnapshot) -> String {
                 ));
                 events.push(Json::Obj(obj));
             }
+            TraceEvent::Verify {
+                rank,
+                rule,
+                ref detail,
+                at_us,
+            } => {
+                ranks.insert(rank);
+                let mut obj = base("i", rule, "verify", at_us, rank);
+                obj.push(("s".into(), Json::str("t")));
+                obj.push((
+                    "args".into(),
+                    Json::Obj(vec![("detail".into(), Json::str(detail))]),
+                ));
+                events.push(Json::Obj(obj));
+            }
         }
     }
 

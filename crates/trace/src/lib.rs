@@ -41,7 +41,7 @@ pub use chrome::{chrome_trace, validate_chrome_trace};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, HISTOGRAM_BUCKETS};
 pub use report::{
     AggBytes, CommEntry, FaultTotal, ImbalanceRow, JobReport, MetricRow, OpLatency, PhaseTotal,
-    StorageTotal,
+    StorageTotal, VerifyTotal,
 };
 pub use shard::{TraceSnapshot, SHARD_COUNT};
 pub use timeline::{ScopedSpan, Span, Timeline};
@@ -100,6 +100,16 @@ pub enum TraceEvent {
         kind: &'static str,
         file: u32,
         injected: bool,
+        at_us: u64,
+    },
+    /// A correctness finding emitted by the verification layer
+    /// (`spio-verify`'s `CheckedComm`): a rule identifier such as
+    /// "collective-mismatch", "handle-leak", or "stall", plus a
+    /// human-readable detail string (the rank diff / wait-for graph).
+    Verify {
+        rank: usize,
+        rule: &'static str,
+        detail: String,
         at_us: u64,
     },
 }
@@ -260,6 +270,26 @@ impl Trace {
                     kind,
                     file,
                     injected,
+                    at_us,
+                },
+            );
+        }
+    }
+
+    /// Record a verifier finding. `rule` is the stable identifier the job
+    /// report aggregates by; `detail` carries the rank-attributed diagnosis
+    /// (allocated only when a finding actually fires, so this is never on a
+    /// hot path).
+    #[inline]
+    pub fn verify_finding(&self, rank: usize, rule: &'static str, detail: String) {
+        if let Some(s) = &self.shared {
+            let at_us = s.epoch.elapsed().as_micros() as u64;
+            s.shards.push(
+                rank,
+                TraceEvent::Verify {
+                    rank,
+                    rule,
+                    detail,
                     at_us,
                 },
             );

@@ -97,6 +97,15 @@ pub struct FaultTotal {
     pub organic: u64,
 }
 
+/// Verifier findings aggregated per rule ("collective-mismatch",
+/// "handle-leak", "stall", …). Any nonzero count means the job violated an
+/// MPI-semantics invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyTotal {
+    pub rule: String,
+    pub count: u64,
+}
+
 /// One registry instrument flattened into a report row. Counters and
 /// gauges carry `value`; histograms carry `value` (the sum) plus count and
 /// percentiles.
@@ -124,6 +133,9 @@ pub struct JobReport {
     pub comm: Vec<CommEntry>,
     pub storage: Vec<StorageTotal>,
     pub faults: Vec<FaultTotal>,
+    /// Verifier findings per rule, sorted by rule name; empty for a clean
+    /// (or unverified) job.
+    pub verify: Vec<VerifyTotal>,
     /// Per-op latency percentiles, sorted by op name.
     pub op_latency: Vec<OpLatency>,
     /// Per-phase max/mean straggler table, sorted by phase name.
@@ -152,6 +164,7 @@ impl JobReport {
         let mut phases: BTreeMap<(usize, &str), u64> = BTreeMap::new();
         let mut comm: BTreeMap<(usize, usize, u32), [u64; 4]> = BTreeMap::new();
         let mut faults: BTreeMap<&str, [u64; 2]> = BTreeMap::new();
+        let mut verify: BTreeMap<&str, u64> = BTreeMap::new();
         let mut storage = Vec::new();
         for ev in events {
             match ev {
@@ -200,6 +213,9 @@ impl JobReport {
                     let cell = faults.entry(kind).or_default();
                     cell[if *injected { 0 } else { 1 }] += 1;
                 }
+                TraceEvent::Verify { rule, .. } => {
+                    *verify.entry(rule).or_default() += 1;
+                }
             }
         }
         let mut report = JobReport {
@@ -232,6 +248,13 @@ impl JobReport {
                     kind: kind.to_string(),
                     injected: c[0],
                     organic: c[1],
+                })
+                .collect(),
+            verify: verify
+                .into_iter()
+                .map(|(rule, count)| VerifyTotal {
+                    rule: rule.to_string(),
+                    count,
                 })
                 .collect(),
             ..Default::default()
@@ -469,6 +492,16 @@ impl JobReport {
                 ])
             })
             .collect();
+        let verify = self
+            .verify
+            .iter()
+            .map(|v| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::str(&v.rule)),
+                    ("count".into(), Json::u64(v.count)),
+                ])
+            })
+            .collect();
         let op_latency = self
             .op_latency
             .iter()
@@ -532,6 +565,7 @@ impl JobReport {
             ("comm".into(), Json::Arr(comm)),
             ("storage".into(), Json::Arr(storage)),
             ("faults".into(), Json::Arr(faults)),
+            ("verify".into(), Json::Arr(verify)),
             ("op_latency".into(), Json::Arr(op_latency)),
             ("imbalance".into(), Json::Arr(imbalance)),
             ("agg_bytes".into(), Json::Arr(agg_bytes)),
@@ -620,6 +654,13 @@ impl JobReport {
                 kind: text_field(f, "kind")?,
                 injected: field(f, "injected")?,
                 organic: field(f, "organic")?,
+            });
+        }
+        // Optional: reports from before the verification layer omit it.
+        for v in opt_arr("verify") {
+            report.verify.push(VerifyTotal {
+                rule: text_field(v, "rule")?,
+                count: field(v, "count")?,
             });
         }
         for l in opt_arr("op_latency") {
@@ -828,6 +869,14 @@ impl JobReport {
                 ));
             }
         }
+
+        if !self.verify.is_empty() {
+            out.push_str("\nverifier findings (MPI-semantics violations):\n");
+            out.push_str("  rule                        count\n");
+            for v in &self.verify {
+                out.push_str(&format!("  {:<26} {:>6}\n", v.rule, v.count));
+            }
+        }
         out
     }
 }
@@ -971,6 +1020,43 @@ mod tests {
         let transient = r.faults.iter().find(|f| f.kind == "transient").unwrap();
         assert_eq!((transient.injected, transient.organic), (1, 0));
         assert!(r.render().contains("injected"));
+    }
+
+    #[test]
+    fn verify_findings_aggregate_by_rule_and_render() {
+        let t = Trace::collecting();
+        t.verify_finding(
+            0,
+            "collective-mismatch",
+            "rank 0: barrier vs allgather".into(),
+        );
+        t.verify_finding(
+            2,
+            "collective-mismatch",
+            "rank 2: barrier vs allgather".into(),
+        );
+        t.verify_finding(1, "handle-leak", "1 unwaited recv handle".into());
+        let r = JobReport::from_snapshot(3, &t.snapshot());
+        assert_eq!(
+            r.verify,
+            vec![
+                VerifyTotal {
+                    rule: "collective-mismatch".into(),
+                    count: 2
+                },
+                VerifyTotal {
+                    rule: "handle-leak".into(),
+                    count: 1
+                },
+            ]
+        );
+        let text = r.render();
+        assert!(text.contains("verifier findings"));
+        assert!(text.contains("collective-mismatch"));
+        let back = JobReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // Clean jobs skip the section.
+        assert!(!sample_report().render().contains("verifier findings"));
     }
 
     #[test]

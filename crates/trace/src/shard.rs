@@ -135,7 +135,9 @@ impl TraceSnapshot {
             .map(|e| match e {
                 TraceEvent::Phase { start_us, dur, .. }
                 | TraceEvent::StorageOp { start_us, dur, .. } => start_us + dur.as_micros() as u64,
-                TraceEvent::Message { at_us, .. } | TraceEvent::Fault { at_us, .. } => *at_us,
+                TraceEvent::Message { at_us, .. }
+                | TraceEvent::Fault { at_us, .. }
+                | TraceEvent::Verify { at_us, .. } => *at_us,
             })
             .max()
             .unwrap_or(0)
@@ -225,6 +227,18 @@ impl TraceSnapshot {
                     ("name".into(), Json::u64(name_id(kind))),
                     ("file".into(), Json::u64(file as u64)),
                     ("injected".into(), Json::Bool(injected)),
+                    ("at_us".into(), Json::u64(at_us)),
+                ]),
+                TraceEvent::Verify {
+                    rank,
+                    rule,
+                    ref detail,
+                    at_us,
+                } => Json::Obj(vec![
+                    ("t".into(), Json::str("verify")),
+                    ("rank".into(), Json::u64(rank as u64)),
+                    ("name".into(), Json::u64(name_id(rule))),
+                    ("detail".into(), Json::str(detail)),
                     ("at_us".into(), Json::u64(at_us)),
                 ]),
             })
@@ -325,6 +339,16 @@ impl TraceSnapshot {
                     injected: matches!(ev.get("injected"), Some(Json::Bool(true))),
                     at_us: num(ev, "at_us")?,
                 },
+                "verify" => TraceEvent::Verify {
+                    rank: num(ev, "rank")? as usize,
+                    rule: name_at(ev)?,
+                    detail: ev
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .ok_or("missing 'detail'")?
+                        .to_string(),
+                    at_us: num(ev, "at_us")?,
+                },
                 other => return Err(format!("unknown event type '{other}'")),
             });
         }
@@ -399,6 +423,12 @@ mod tests {
                     file: 0,
                     injected: true,
                     at_us: 44,
+                },
+                TraceEvent::Verify {
+                    rank: 2,
+                    rule: "collective-mismatch",
+                    detail: "rank 2 entered barrier, rank 0 entered allgather".to_string(),
+                    at_us: 45,
                 },
             ],
             files: vec!["file_0.spd".to_string()],

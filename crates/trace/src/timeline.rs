@@ -59,7 +59,9 @@ impl Timeline {
                     *start_us,
                     start_us + dur.as_micros() as u64,
                 ),
-                TraceEvent::Message { .. } | TraceEvent::Fault { .. } => continue,
+                TraceEvent::Message { .. }
+                | TraceEvent::Fault { .. }
+                | TraceEvent::Verify { .. } => continue,
             };
             lanes.entry(rank).or_default().push(Span {
                 name,

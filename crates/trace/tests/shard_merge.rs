@@ -50,6 +50,9 @@ fn key(ev: &TraceEvent, snap: &TraceSnapshot) -> String {
             "fault r{rank} {kind} {} injected={injected}",
             snap.file_name(*file)
         ),
+        TraceEvent::Verify {
+            rank, rule, detail, ..
+        } => format!("verify r{rank} {rule} {detail}"),
     }
 }
 

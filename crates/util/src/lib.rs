@@ -11,10 +11,12 @@ pub mod check;
 pub mod crc;
 pub mod json;
 pub mod rng;
+pub mod sync;
 pub mod tempdir;
 
 pub use check::{cases, cases_seeded, Gen};
 pub use crc::{crc32, Crc32};
 pub use json::Json;
 pub use rng::Rng;
+pub use sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 pub use tempdir::{tempdir, TempDir};

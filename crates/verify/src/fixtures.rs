@@ -1,0 +1,59 @@
+//! Known-bad comm programs: the regression corpus for the verification
+//! layer.
+//!
+//! Each fixture encodes one classic MPI misuse. The test suite runs them
+//! under the schedule explorer (so a deadlock is detected structurally,
+//! never hanging the suite) wrapped in `CheckedComm` (so the failure is a
+//! rank-attributed diagnostic, not a bare error). All fixtures are generic
+//! over [`CollectiveComm`], so the same programs also document what the
+//! thread runtime would do with them.
+
+use spio_comm::CollectiveComm;
+
+/// One rank skips a barrier every other rank enters: the peers' gate (or
+/// the barrier itself) can never complete. Expected: stall / structural
+/// deadlock naming the skipping rank.
+pub fn skipped_barrier<C: CollectiveComm>(comm: &C) {
+    if comm.rank() != 1 {
+        comm.barrier();
+    }
+}
+
+/// Sender and receiver disagree on the message tag, so the receive can
+/// never match. Expected: deadlock whose wait-for graph shows rank 1
+/// waiting on rank 0 with the wrong tag.
+pub fn tag_mismatch<C: CollectiveComm>(comm: &C) {
+    if comm.rank() == 0 {
+        comm.send(1, 0x10, vec![1, 2, 3]);
+    } else if comm.rank() == 1 {
+        let _ = comm.recv(0, 0x11);
+    }
+}
+
+/// A receive nobody ever sends to. Expected: deadlock/stall attributing
+/// the orphan receive to rank 0.
+pub fn recv_without_send<C: CollectiveComm>(comm: &C) {
+    if comm.rank() == 0 {
+        let _ = comm.recv(1, 0x42);
+    }
+}
+
+/// Ranks disagree on the broadcast root. Expected: a collective-mismatch
+/// diff listing each rank's claimed root.
+pub fn root_disagreement<C: CollectiveComm>(comm: &C) {
+    let root = if comm.rank() == comm.size() - 1 { 1 } else { 0 };
+    comm.broadcast(root, vec![comm.rank() as u8]);
+}
+
+/// Rank 0 calls allgather twice while everyone else calls it once and
+/// moves on to a barrier: the ranks' collective sequences diverge at call
+/// #2. Expected: a mismatch diff (allgather vs barrier) or a stall,
+/// depending on timing — never silent corruption.
+pub fn unequal_collective_counts<C: CollectiveComm>(comm: &C) {
+    comm.allgather(&[comm.rank() as u8]);
+    if comm.rank() == 0 {
+        comm.allgather(&[0xAA]);
+    } else {
+        comm.barrier();
+    }
+}

@@ -1,0 +1,648 @@
+//! `spio lint`: a std-only source scanner with a baseline ratchet.
+//!
+//! Three rules, all aimed at panic/abort discipline in library code:
+//!
+//! * `unwrap-expect` — no `.unwrap()` / `.expect(` in non-test library
+//!   code. Panics in library paths kill whole jobs; errors must travel as
+//!   `SpioError`.
+//! * `systemtime-now` — no direct `SystemTime::now` outside the trace
+//!   clock. Ad-hoc wall-clock reads make traces unmergeable and tests
+//!   flaky; time flows through `Trace`'s epoch.
+//! * `lock-unwrap` — no bare `Mutex::lock().unwrap()` in `spio-serve`
+//!   (pool/cache): a panicked worker poisons the lock and a bare unwrap
+//!   turns one bad request into a dead server. Use
+//!   `spio_util::lock_unpoisoned`.
+//!
+//! Counts are compared against a committed per-crate baseline
+//! (`lint.ratchet` at the repo root). The gate is a *ratchet*: counts may
+//! only decrease. Existing debt is tolerated but frozen; new debt fails
+//! CI. After paying debt down, `spio lint --update` rewrites the baseline.
+//!
+//! The scanner is deliberately token-level, not a full parser: string and
+//! comment contents are masked first (so doc-comment examples never
+//! count), and `#[cfg(test)]` items are excluded by brace tracking.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule identifier for the `.unwrap()` / `.expect(` ban.
+pub const RULE_UNWRAP: &str = "unwrap-expect";
+/// Rule identifier for the `SystemTime::now` ban outside the trace clock.
+pub const RULE_SYSTEMTIME: &str = "systemtime-now";
+/// Rule identifier for bare `.lock().unwrap()` in spio-serve.
+pub const RULE_LOCK_UNWRAP: &str = "lock-unwrap";
+
+/// Where to scan and where the baseline lives.
+pub struct LintConfig {
+    /// Workspace root (the directory containing `crates/` and `src/`).
+    pub root: PathBuf,
+}
+
+impl LintConfig {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig { root: root.into() }
+    }
+
+    /// Default location of the committed baseline.
+    pub fn ratchet_path(&self) -> PathBuf {
+        self.root.join("lint.ratchet")
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// Scan result: per-`(crate, rule)` totals plus the individual findings.
+#[derive(Debug, Default)]
+pub struct LintCounts {
+    /// `(crate name, rule) -> count`. Zero-count pairs are omitted.
+    pub counts: BTreeMap<(String, String), u64>,
+    pub findings: Vec<Finding>,
+}
+
+impl LintCounts {
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    fn record(&mut self, krate: &str, finding: Finding) {
+        *self
+            .counts
+            .entry((krate.to_string(), finding.rule.to_string()))
+            .or_insert(0) += 1;
+        self.findings.push(finding);
+    }
+}
+
+/// Scan every crate under `<root>/crates/*/src` plus the umbrella
+/// `<root>/src`, applying all rules. Test directories (`tests/`,
+/// `benches/`) are never visited; `#[cfg(test)]` items inside library
+/// files are excluded by the masker.
+pub fn lint_tree(cfg: &LintConfig) -> io::Result<LintCounts> {
+    let mut out = LintCounts::default();
+    let crates_dir = cfg.root.join("crates");
+    let mut roots: Vec<(String, PathBuf)> = Vec::new();
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let src = dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            roots.push((name, src));
+        }
+    }
+    let umbrella = cfg.root.join("src");
+    if umbrella.is_dir() {
+        roots.push(("spio (umbrella)".to_string(), umbrella));
+    }
+    for (krate, src) in roots {
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(&cfg.root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            lint_source(&krate, &rel, &text, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Apply all rules to one file's text. Public so tests (and future rules)
+/// can lint snippets without touching the filesystem.
+pub fn lint_source(krate: &str, rel_path: &str, text: &str, out: &mut LintCounts) {
+    let masked = mask_test_items(&mask_comments_and_strings(text));
+    // Rule scoping: the trace clock is the one sanctioned wall-clock
+    // reader; tempdir naming in spio-util is grandfathered via the
+    // ratchet, not exempted here.
+    let systemtime_exempt = rel_path.starts_with("crates/trace/src");
+    let lock_rule_applies = rel_path.starts_with("crates/serve/src");
+    for (idx, (line, orig)) in masked.lines().zip(text.lines()).enumerate() {
+        let lineno = idx + 1;
+        let hit = |rule: &'static str, out: &mut LintCounts| {
+            out.record(
+                krate,
+                Finding {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    rule,
+                    excerpt: orig.trim().to_string(),
+                },
+            );
+        };
+        let lock_unwraps = count_matches(line, ".lock().unwrap()");
+        if lock_rule_applies {
+            for _ in 0..lock_unwraps {
+                hit(RULE_LOCK_UNWRAP, out);
+            }
+        }
+        // A `.lock().unwrap()` already counted under lock-unwrap should
+        // not double-count under unwrap-expect in the same crate.
+        let mut unwraps = count_matches(line, ".unwrap()");
+        if lock_rule_applies {
+            unwraps = unwraps.saturating_sub(lock_unwraps);
+        }
+        let expects = count_matches(line, ".expect(");
+        for _ in 0..unwraps + expects {
+            hit(RULE_UNWRAP, out);
+        }
+        if !systemtime_exempt {
+            for _ in 0..count_matches(line, "SystemTime::now") {
+                hit(RULE_SYSTEMTIME, out);
+            }
+        }
+    }
+}
+
+fn count_matches(line: &str, needle: &str) -> usize {
+    let mut n = 0;
+    let mut rest = line;
+    while let Some(pos) = rest.find(needle) {
+        n += 1;
+        rest = &rest[pos + needle.len()..];
+    }
+    n
+}
+
+/// Replace the contents of comments, string literals, and char literals
+/// with spaces, preserving byte length and newlines so line numbers and
+/// column-free matching stay valid.
+pub fn mask_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"...", r#"..."#, br"...", b"...": find the opening
+                // quote and the required closing hash count.
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                let mut k = j + 1;
+                'scan: while k < b.len() {
+                    if b[k] == b'"' {
+                        let mut h = 0;
+                        while h < hashes && b.get(k + 1 + h) == Some(&b'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                for p in i..k.min(b.len()) {
+                    if b[p] != b'\n' {
+                        out[p] = b' ';
+                    }
+                }
+                i = k;
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < b.len() && b[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    }
+                    if b[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime? A char literal closes within a
+                // few bytes ('x', '\n', '\u{1F600}'); a lifetime never
+                // closes with a quote.
+                if let Some(end) = char_literal_end(b, i) {
+                    out[i..=end].fill(b' ');
+                    i = end + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| src.to_string())
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // Must not be the tail of an identifier (e.g. `for r` in `var`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+    } else if b[i] == b'b' && b.get(j) == Some(&b'"') {
+        return true; // b"..."
+    } else {
+        return false;
+    }
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(b[i], b'\'');
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote (bounded; '\u{...}' is longest).
+        let mut k = i + 2;
+        let limit = (i + 12).min(b.len());
+        while k < limit {
+            if b[k] == b'\'' {
+                return Some(k);
+            }
+            k += 1;
+        }
+        None
+    } else if b.get(i + 2) == Some(&b'\'') && next != b'\'' {
+        Some(i + 2)
+    } else {
+        // Multi-byte UTF-8 char literal, e.g. 'é'.
+        let mut k = i + 1;
+        let limit = (i + 6).min(b.len());
+        while k < limit {
+            if b[k] == b'\'' && k > i + 1 {
+                return Some(k);
+            }
+            k += 1;
+        }
+        None
+    }
+}
+
+/// Mask every item annotated `#[cfg(test)]` (typically `mod tests { .. }`)
+/// by brace tracking. Input must already be comment/string masked so brace
+/// counting is reliable.
+pub fn mask_test_items(masked: &str) -> String {
+    let b = masked.as_bytes();
+    let mut out = b.to_vec();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= b.len() {
+        if &b[i..i + needle.len()] != needle.as_slice() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        // Find the item body: first '{' begins a braced item; a ';' at
+        // depth zero first means an un-braced item (`#[cfg(test)] use ..;`).
+        let mut end = b.len();
+        while j < b.len() {
+            if b[j] == b';' {
+                end = j + 1;
+                break;
+            }
+            if b[j] == b'{' {
+                let mut depth = 1usize;
+                j += 1;
+                while j < b.len() && depth > 0 {
+                    match b[j] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                end = j;
+                break;
+            }
+            j += 1;
+        }
+        for p in start..end {
+            if b[p] != b'\n' {
+                out[p] = b' ';
+            }
+        }
+        i = end;
+    }
+    String::from_utf8(out).unwrap_or_else(|_| masked.to_string())
+}
+
+/// The committed baseline: `(crate, rule) -> tolerated count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Ratchet {
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+/// Outcome of comparing a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// `(crate, rule, baseline, current)` where current > baseline. Any
+    /// regression fails the gate.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// `(crate, rule, baseline, current)` where current < baseline: debt
+    /// paid down; the baseline should be re-tightened with `--update`.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl Comparison {
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl Ratchet {
+    /// Parse the `lint.ratchet` format: `# comment` lines plus
+    /// `<crate> <rule> <count>` entries.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(krate), Some(rule), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "lint.ratchet line {}: expected `<crate> <rule> <count>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("lint.ratchet line {}: bad count `{count}`", idx + 1))?;
+            entries.insert((krate.to_string(), rule.to_string()), count);
+        }
+        Ok(Ratchet { entries })
+    }
+
+    pub fn load(path: &Path) -> io::Result<Ratchet> {
+        let text = fs::read_to_string(path)?;
+        Ratchet::parse(&text).map_err(io::Error::other)
+    }
+
+    pub fn from_counts(counts: &LintCounts) -> Ratchet {
+        Ratchet {
+            entries: counts
+                .counts
+                .iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(k, &n)| (k.clone(), n))
+                .collect(),
+        }
+    }
+
+    /// Serialize in the committed file format (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# spio lint baseline ratchet. Counts may only decrease.\n\
+             # Regenerate after paying down debt: spio lint --update\n\
+             # <crate> <rule> <count>\n",
+        );
+        for ((krate, rule), count) in &self.entries {
+            let _ = writeln!(s, "{krate} {rule} {count}");
+        }
+        s
+    }
+
+    /// Compare a fresh scan against this baseline. Pairs absent from the
+    /// baseline have an implicit tolerated count of zero.
+    pub fn compare(&self, current: &LintCounts) -> Comparison {
+        let mut cmp = Comparison::default();
+        let mut keys: Vec<&(String, String)> =
+            self.entries.keys().chain(current.counts.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let base = self.entries.get(key).copied().unwrap_or(0);
+            let cur = current.counts.get(key).copied().unwrap_or(0);
+            let record = (key.0.clone(), key.1.clone(), base, cur);
+            if cur > base {
+                cmp.regressions.push(record);
+            } else if cur < base {
+                cmp.improvements.push(record);
+            }
+        }
+        cmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_strings_and_doc_examples() {
+        let src = r###"
+fn f() {
+    // a.unwrap() in a comment
+    /// doc: b.unwrap()
+    let s = "c.unwrap()";
+    let r = r#"d.unwrap()"#;
+    let c = '"';
+    let real = maybe.unwrap();
+}
+"###;
+        let masked = mask_comments_and_strings(src);
+        assert_eq!(count_matches(&masked, ".unwrap()"), 1, "{masked}");
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn block_comments_nest_and_preserve_lines() {
+        let src = "/* outer /* inner.unwrap() */ still */ x.unwrap()\ny";
+        let masked = mask_comments_and_strings(src);
+        assert_eq!(count_matches(&masked, ".unwrap()"), 1);
+        assert!(masked.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_start_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // y.unwrap()";
+        let masked = mask_comments_and_strings(src);
+        assert!(masked.contains("fn f<'a>(x: &'a str)"));
+        assert_eq!(count_matches(&masked, ".unwrap()"), 0);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_excluded() {
+        let src = "fn lib() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); c.unwrap(); }\n}\n";
+        let masked = mask_test_items(&mask_comments_and_strings(src));
+        assert_eq!(count_matches(&masked, ".unwrap()"), 1);
+    }
+
+    #[test]
+    fn rules_scope_by_path_and_do_not_double_count_lock_unwrap() {
+        let src = "fn f() { m.lock().unwrap(); x.unwrap(); t = SystemTime::now(); }\n";
+        let mut serve = LintCounts::default();
+        lint_source("serve", "crates/serve/src/pool.rs", src, &mut serve);
+        assert_eq!(serve.counts[&("serve".into(), RULE_LOCK_UNWRAP.into())], 1);
+        assert_eq!(serve.counts[&("serve".into(), RULE_UNWRAP.into())], 1);
+        assert_eq!(serve.counts[&("serve".into(), RULE_SYSTEMTIME.into())], 1);
+
+        let mut trace = LintCounts::default();
+        lint_source("trace", "crates/trace/src/lib.rs", src, &mut trace);
+        // lock-unwrap only applies in serve; SystemTime allowed in trace.
+        assert!(!trace
+            .counts
+            .contains_key(&("trace".into(), RULE_LOCK_UNWRAP.into())));
+        assert!(!trace
+            .counts
+            .contains_key(&("trace".into(), RULE_SYSTEMTIME.into())));
+        // The bare .unwrap() and the .lock().unwrap() both count as
+        // unwrap-expect here since the lock rule is out of scope.
+        assert_eq!(trace.counts[&("trace".into(), RULE_UNWRAP.into())], 2);
+    }
+
+    #[test]
+    fn ratchet_round_trips_and_compares() {
+        let mut counts = LintCounts::default();
+        lint_source(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.unwrap(); }\n",
+            &mut counts,
+        );
+        let base = Ratchet::from_counts(&counts);
+        let text = base.render();
+        let reparsed = Ratchet::parse(&text).expect("render must reparse");
+        assert_eq!(base, reparsed);
+
+        // Same counts: clean.
+        assert!(base.compare(&counts).is_ok());
+
+        // One more unwrap: regression.
+        let mut worse = LintCounts::default();
+        lint_source(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.unwrap(); c.unwrap(); }\n",
+            &mut worse,
+        );
+        let cmp = base.compare(&worse);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].2, 2);
+        assert_eq!(cmp.regressions[0].3, 3);
+
+        // One fewer: improvement, still ok.
+        let mut better = LintCounts::default();
+        lint_source(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); }\n",
+            &mut better,
+        );
+        let cmp = base.compare(&better);
+        assert!(cmp.is_ok());
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn findings_carry_file_line_and_excerpt() {
+        let mut counts = LintCounts::default();
+        lint_source(
+            "comm",
+            "crates/comm/src/lib.rs",
+            "fn ok() {}\nfn bad() { x.expect(\"boom\"); }\n",
+            &mut counts,
+        );
+        assert_eq!(counts.findings.len(), 1);
+        let f = &counts.findings[0];
+        assert_eq!(f.line, 2);
+        assert_eq!(f.rule, RULE_UNWRAP);
+        assert!(f.excerpt.contains("x.expect("));
+    }
+}
